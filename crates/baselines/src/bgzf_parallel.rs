@@ -1,0 +1,89 @@
+//! Parallel BGZF decompression (what `bgzip --threads` does).
+//!
+//! BGZF members carry their compressed size in the `BC` extra field, so a
+//! reader can partition the file into members without decoding anything and
+//! decompress the members fully independently — the trivially parallel
+//! special case that rapidgzip generalises to arbitrary gzip files.
+
+use rgz_gzip::bgzf::block_offsets;
+use rgz_gzip::{GzipDecoder, GzipError};
+
+/// Decompresses a BGZF file using `threads` worker threads.
+///
+/// Fails with [`GzipError::TrailingGarbage`] if the file is a plain gzip
+/// file without the BGZF `BC` metadata (mirroring `bgzip`, which cannot
+/// parallelize such files).
+pub fn decompress_bgzf_parallel(data: &[u8], threads: usize) -> Result<Vec<u8>, GzipError> {
+    let offsets = block_offsets(data)?;
+    let mut boundaries = offsets.clone();
+    boundaries.push(data.len() as u64);
+
+    let decoder = GzipDecoder::new();
+    let workers = threads.max(1).min(offsets.len().max(1));
+    let results: Vec<Result<Vec<u8>, GzipError>> = std::thread::scope(|scope| {
+        let boundaries = &boundaries;
+        let decoder = &decoder;
+        let handles: Vec<_> = (0..workers)
+            .map(|worker| {
+                scope.spawn(move || {
+                    let mut outputs = Vec::new();
+                    let mut index = worker;
+                    while index + 1 < boundaries.len() {
+                        let start = boundaries[index] as usize;
+                        let end = boundaries[index + 1] as usize;
+                        outputs.push((index, decoder.decompress(&data[start..end])));
+                        index += workers;
+                    }
+                    outputs
+                })
+            })
+            .collect();
+        let mut collected: Vec<Option<Result<Vec<u8>, GzipError>>> =
+            (0..offsets.len()).map(|_| None).collect();
+        for handle in handles {
+            for (index, result) in handle.join().expect("bgzf worker panicked") {
+                collected[index] = Some(result);
+            }
+        }
+        collected.into_iter().map(|r| r.unwrap()).collect()
+    });
+
+    let mut out = Vec::new();
+    for result in results {
+        out.extend_from_slice(&result?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rgz_datagen::silesia_like;
+    use rgz_gzip::{BgzfWriter, GzipWriter};
+
+    #[test]
+    fn parallel_bgzf_matches_serial_decoding() {
+        let data = silesia_like(900_000, 50);
+        let compressed = BgzfWriter::default().compress(&data);
+        for threads in [1, 2, 8] {
+            assert_eq!(
+                decompress_bgzf_parallel(&compressed, threads).unwrap(),
+                data,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn plain_gzip_files_are_rejected() {
+        let data = silesia_like(100_000, 51);
+        let compressed = GzipWriter::default().compress(&data);
+        assert!(decompress_bgzf_parallel(&compressed, 4).is_err());
+    }
+
+    #[test]
+    fn empty_payload_works() {
+        let compressed = BgzfWriter::default().compress(&[]);
+        assert_eq!(decompress_bgzf_parallel(&compressed, 4).unwrap(), Vec::<u8>::new());
+    }
+}

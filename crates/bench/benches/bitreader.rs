@@ -1,0 +1,31 @@
+//! Criterion micro-benchmark for Figure 7 (BitReader bandwidth per
+//! bits-per-read).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rgz_bitio::BitReader;
+
+fn bench_bitreader(c: &mut Criterion) {
+    let data = rgz_datagen::base64_random(1 << 20, 7);
+    let mut group = c.benchmark_group("bitreader_read");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    for bits in [1u32, 2, 4, 8, 13, 16, 24, 30] {
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, &bits| {
+            b.iter(|| {
+                let mut reader = BitReader::new(&data);
+                let mut checksum = 0u64;
+                while reader.remaining_bits() >= bits as u64 {
+                    checksum = checksum.wrapping_add(reader.read(bits).unwrap());
+                }
+                checksum
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_bitreader
+}
+criterion_main!(benches);

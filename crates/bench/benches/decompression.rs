@@ -1,0 +1,61 @@
+//! Criterion end-to-end decompression benchmark (a small-scale companion to
+//! Figures 9 and 10): serial gzip vs. rapidgzip without and with an index.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rgz_core::{ParallelGzipReader, ParallelGzipReaderOptions};
+use rgz_io::SharedFileReader;
+
+fn bench_decompression(c: &mut Criterion) {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let data = rgz_datagen::silesia_like(8 << 20, 77);
+    let compressed = rgz_gzip::GzipWriter::default().compress_pigz_like(&data, 128 * 1024);
+    let shared = SharedFileReader::from_bytes(compressed.clone());
+
+    let mut group = c.benchmark_group("decompression");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.sample_size(10);
+
+    group.bench_function("gzip_serial", |b| {
+        b.iter(|| rgz_gzip::decompress(&compressed).unwrap())
+    });
+
+    for &threads in &[1usize, cores.min(4), cores] {
+        let options = ParallelGzipReaderOptions {
+            parallelization: threads,
+            chunk_size: 512 * 1024,
+            ..Default::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("rapidgzip_no_index", threads),
+            &options,
+            |b, options| {
+                b.iter(|| {
+                    let mut reader =
+                        ParallelGzipReader::new(shared.clone(), options.clone()).unwrap();
+                    reader.decompress_all().unwrap()
+                })
+            },
+        );
+        let mut builder = ParallelGzipReader::new(shared.clone(), options.clone()).unwrap();
+        let index = builder.build_full_index().unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("rapidgzip_index", threads),
+            &(options, index),
+            |b, (options, index)| {
+                b.iter(|| {
+                    let mut reader = ParallelGzipReader::with_index(
+                        shared.clone(),
+                        options.clone(),
+                        index.clone(),
+                    )
+                    .unwrap();
+                    reader.decompress_all().unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decompression);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figure 7: BitReader bandwidth as a function of bits per read call.
+
+use rgz_bench::*;
+use rgz_bitio::BitReader;
+
+fn main() {
+    print_header(
+        "Figure 7 — BitReader bandwidth vs. bits per read",
+        "single-threaded; higher bits-per-call amortise the refill cost",
+    );
+    let size = scaled(8 * 1024 * 1024, 1024 * 1024);
+    println!("{:>12} {:>16}", "bits/read", "bandwidth MB/s");
+    for bits in 1..=30u32 {
+        // Scale the data with bits-per-read for roughly equal runtimes, as in
+        // the paper.
+        let data = rgz_datagen::base64_random(size * bits as usize / 8, bits as u64);
+        let (_, duration) = best_of(|| {
+            let mut reader = BitReader::new(&data);
+            let mut checksum = 0u64;
+            while reader.remaining_bits() >= bits as u64 {
+                checksum = checksum.wrapping_add(reader.read(bits).unwrap());
+            }
+            checksum
+        });
+        println!("{:>12} {:>16.1}", bits, bandwidth_mb_per_s(data.len(), duration));
+    }
+}

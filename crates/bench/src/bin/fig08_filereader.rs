@@ -1,0 +1,35 @@
+//! Figure 8: strided parallel reads through the SharedFileReader.
+
+use rgz_bench::*;
+use rgz_io::{FileReader, SharedFileReader};
+
+fn main() {
+    print_header(
+        "Figure 8 — SharedFileReader strided read bandwidth vs. thread count",
+        "each thread reads interleaved 128 KiB stripes of the same in-memory file",
+    );
+    let size = scaled(1 << 30, 64 << 20);
+    let data = rgz_datagen::base64_random(size, 8);
+    let reader = SharedFileReader::from_bytes(data);
+    let stripe = 128 * 1024usize;
+    println!("{:>8} {:>16}", "threads", "bandwidth MB/s");
+    for &threads in &core_counts() {
+        let (_, duration) = best_of(|| {
+            std::thread::scope(|scope| {
+                for thread_index in 0..threads {
+                    let reader = reader.clone();
+                    scope.spawn(move || {
+                        let mut offset = (thread_index * stripe) as u64;
+                        let mut total = 0usize;
+                        while offset < reader.size() {
+                            total += reader.read_range(offset, stripe).unwrap().len();
+                            offset += (stripe * threads) as u64;
+                        }
+                        total
+                    });
+                }
+            });
+        });
+        println!("{:>8} {:>16.1}", threads, bandwidth_mb_per_s(size, duration));
+    }
+}

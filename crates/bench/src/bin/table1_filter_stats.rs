@@ -1,0 +1,38 @@
+//! Table 1: empirical filter frequencies of the Dynamic Block finder on
+//! random data.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rgz_bench::*;
+use rgz_blockfinder::{DynamicBlockFinder, FilterStatistics};
+
+fn main() {
+    print_header(
+        "Table 1 — Dynamic Block finder filter frequencies",
+        "counts are normalised per 10^12 tested positions for comparison with the paper",
+    );
+    let megabytes = scaled(64, 8);
+    let mut rng = StdRng::seed_from_u64(0x7AB1E);
+    let data: Vec<u8> = (0..megabytes * 1024 * 1024).map(|_| rng.gen()).collect();
+
+    let finder = DynamicBlockFinder::new();
+    let mut statistics = FilterStatistics::default();
+    let (_, duration) = time(|| {
+        let mut offset = 0u64;
+        while let Some(found) = finder.find_next_with_statistics(&data, offset, &mut statistics) {
+            offset = found + 1;
+        }
+    });
+    let tested = statistics.tested_positions.max(1);
+    println!(
+        "# tested {} positions in {:.2} s ({:.1} MB/s)",
+        tested,
+        duration.as_secs_f64(),
+        bandwidth_mb_per_s(data.len(), duration)
+    );
+    println!("{:<32} {:>16} {:>20}", "filter", "count", "per 1e12 positions");
+    for (label, count) in statistics.rows() {
+        let normalised = count as f64 * 1e12 / tested as f64;
+        println!("{label:<32} {count:>16} {normalised:>20.1}");
+    }
+}

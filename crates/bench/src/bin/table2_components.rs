@@ -1,0 +1,81 @@
+//! Table 2: bandwidths of the individual components (block finder variants,
+//! Non-Compressed Block finder, marker replacement, writing, newline count).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rgz_bench::*;
+use rgz_blockfinder::{
+    BlockFinder, CustomParseFinder, DynamicBlockFinder, PugzLikeFinder, SkipLutFinder,
+    TrialInflateFinder, UncompressedBlockFinder,
+};
+use rgz_deflate::{replace_markers, MARKER_BASE};
+
+fn scan(finder: &dyn BlockFinder, data: &[u8]) -> u64 {
+    let mut count = 0u64;
+    let mut offset = 0u64;
+    while let Some(found) = finder.find_next(data, offset) {
+        count += 1;
+        offset = found + 1;
+    }
+    count
+}
+
+fn main() {
+    print_header(
+        "Table 2 — component bandwidths",
+        "all single-threaded, on random data (finders) / marker data (replacement)",
+    );
+    let mut rng = StdRng::seed_from_u64(2);
+    let finder_megabytes = scaled(8, 2);
+    let random: Vec<u8> = (0..finder_megabytes << 20).map(|_| rng.gen()).collect();
+    // The trial-inflate finder is orders of magnitude slower; give it less data.
+    let random_small = &random[..random.len().min(scaled(256 << 10, 64 << 10))];
+
+    println!("{:<28} {:>16}", "component", "bandwidth MB/s");
+    let row = |label: &str, bytes: usize, duration: std::time::Duration| {
+        println!("{label:<28} {:>16.3}", bandwidth_mb_per_s(bytes, duration));
+    };
+
+    let (_, duration) = best_of(|| scan(&TrialInflateFinder, random_small));
+    row("DBF zlib (trial inflate)", random_small.len(), duration);
+    let (_, duration) = best_of(|| scan(&CustomParseFinder, &random));
+    row("DBF custom deflate", random.len(), duration);
+    let (_, duration) = best_of(|| scan(&PugzLikeFinder::default(), &random));
+    row("Pugz block finder", random.len(), duration);
+    let (_, duration) = best_of(|| scan(&SkipLutFinder, &random));
+    row("DBF skip-LUT", random.len(), duration);
+    let (_, duration) = best_of(|| scan(&DynamicBlockFinder::new(), &random));
+    row("DBF rapidgzip", random.len(), duration);
+    let (_, duration) = best_of(|| scan(&UncompressedBlockFinder::new(), &random));
+    row("NBF", random.len(), duration);
+
+    // Marker replacement.
+    let window: Vec<u8> = (0..32 * 1024).map(|i| (i % 251) as u8).collect();
+    let symbols: Vec<u16> = (0..scaled(64 << 20, 8 << 20))
+        .map(|i| {
+            if i % 7 == 0 {
+                MARKER_BASE + (i % 32768) as u16
+            } else {
+                (i % 256) as u16
+            }
+        })
+        .collect();
+    let (_, duration) = best_of(|| replace_markers(&symbols, &window).unwrap());
+    row("Marker replacement", symbols.len(), duration);
+
+    // Writing to a file in /dev/shm (or the temp dir as a fallback).
+    let out_dir = if std::path::Path::new("/dev/shm").is_dir() {
+        std::path::PathBuf::from("/dev/shm")
+    } else {
+        std::env::temp_dir()
+    };
+    let out_path = out_dir.join("rgz_table2_write.bin");
+    let payload = rgz_datagen::base64_random(scaled(256 << 20, 32 << 20), 3);
+    let (_, duration) = best_of(|| std::fs::write(&out_path, &payload).unwrap());
+    row("Write to /dev/shm/", payload.len(), duration);
+    std::fs::remove_file(&out_path).ok();
+
+    // Counting newlines.
+    let (_, duration) = best_of(|| payload.iter().filter(|&&b| b == b'\n').count());
+    row("Count newlines", payload.len(), duration);
+}

@@ -1,0 +1,389 @@
+//! LSB-first bit reader over an in-memory byte slice.
+
+use crate::{low_bit_mask, BitIoError, MAX_BITS_PER_READ};
+
+/// An LSB-first bit reader over a byte slice.
+///
+/// The reader tracks an exact bit position, supports arbitrary bit-granular
+/// seeks (needed because DEFLATE blocks may start at any bit offset), and
+/// offers `peek`/`consume` primitives so that table-driven Huffman decoders
+/// can look at the next 15 bits without committing to them.
+#[derive(Clone)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    /// Index of the next byte that has not yet been loaded into `bit_buffer`.
+    next_byte: usize,
+    /// Bits that have been loaded from `data` but not yet consumed.
+    bit_buffer: u64,
+    /// Number of valid bits in `bit_buffer`.
+    bit_count: u32,
+}
+
+impl<'a> std::fmt::Debug for BitReader<'a> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BitReader")
+            .field("size_bits", &self.size_in_bits())
+            .field("position", &self.position())
+            .finish()
+    }
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader positioned at bit 0 of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Self {
+            data,
+            next_byte: 0,
+            bit_buffer: 0,
+            bit_count: 0,
+        }
+    }
+
+    /// Total size of the underlying data in bits.
+    #[inline]
+    pub fn size_in_bits(&self) -> u64 {
+        (self.data.len() as u64) * 8
+    }
+
+    /// Current bit position (number of bits consumed so far).
+    #[inline]
+    pub fn position(&self) -> u64 {
+        (self.next_byte as u64) * 8 - self.bit_count as u64
+    }
+
+    /// Number of bits remaining until the end of the data.
+    #[inline]
+    pub fn remaining_bits(&self) -> u64 {
+        self.size_in_bits() - self.position()
+    }
+
+    /// Whether all bits have been consumed.
+    #[inline]
+    pub fn is_at_end(&self) -> bool {
+        self.remaining_bits() == 0
+    }
+
+    /// The underlying byte slice.
+    #[inline]
+    pub fn data(&self) -> &'a [u8] {
+        self.data
+    }
+
+    #[inline]
+    fn refill(&mut self) {
+        while self.bit_count <= 56 && self.next_byte < self.data.len() {
+            self.bit_buffer |= (self.data[self.next_byte] as u64) << self.bit_count;
+            self.bit_count += 8;
+            self.next_byte += 1;
+        }
+    }
+
+    /// Returns the next `count` bits without consuming them.
+    ///
+    /// Bits past the end of the data read as zero; combine with
+    /// [`BitReader::remaining_bits`] or a subsequent [`BitReader::read`] if
+    /// end-of-data must be detected.
+    #[inline]
+    pub fn peek(&mut self, count: u32) -> u64 {
+        debug_assert!(count <= MAX_BITS_PER_READ);
+        self.refill();
+        self.bit_buffer & low_bit_mask(count)
+    }
+
+    /// Consumes `count` bits that were previously observed with
+    /// [`BitReader::peek`]. Fails if fewer bits are available.
+    #[inline]
+    pub fn consume(&mut self, count: u32) -> Result<(), BitIoError> {
+        if count > MAX_BITS_PER_READ {
+            return Err(BitIoError::TooManyBits(count));
+        }
+        self.refill();
+        if (count as u64) > self.bit_count as u64 {
+            return Err(BitIoError::UnexpectedEof {
+                position: self.position(),
+                requested: count,
+                available: self.remaining_bits(),
+            });
+        }
+        self.bit_buffer >>= count;
+        self.bit_count -= count;
+        Ok(())
+    }
+
+    /// Reads and consumes `count` bits, returning them in the low bits of the
+    /// result (first stream bit is bit 0 of the result).
+    #[inline]
+    pub fn read(&mut self, count: u32) -> Result<u64, BitIoError> {
+        if count > MAX_BITS_PER_READ {
+            return Err(BitIoError::TooManyBits(count));
+        }
+        if count == 0 {
+            return Ok(0);
+        }
+        self.refill();
+        if (count as u64) > self.bit_count as u64 {
+            return Err(BitIoError::UnexpectedEof {
+                position: self.position(),
+                requested: count,
+                available: self.remaining_bits(),
+            });
+        }
+        let value = self.bit_buffer & low_bit_mask(count);
+        self.bit_buffer >>= count;
+        self.bit_count -= count;
+        Ok(value)
+    }
+
+    /// Reads a single bit.
+    #[inline]
+    pub fn read_bit(&mut self) -> Result<bool, BitIoError> {
+        Ok(self.read(1)? != 0)
+    }
+
+    /// Seeks to an absolute bit offset.
+    pub fn seek_to_bit(&mut self, bit_offset: u64) -> Result<(), BitIoError> {
+        if bit_offset > self.size_in_bits() {
+            return Err(BitIoError::SeekOutOfBounds {
+                target: bit_offset,
+                size: self.size_in_bits(),
+            });
+        }
+        self.next_byte = (bit_offset / 8) as usize;
+        self.bit_buffer = 0;
+        self.bit_count = 0;
+        let residual = (bit_offset % 8) as u32;
+        if residual != 0 {
+            self.refill();
+            // A residual implies at least one whole byte exists at next_byte.
+            self.bit_buffer >>= residual;
+            self.bit_count -= residual;
+        }
+        Ok(())
+    }
+
+    /// Discards bits until the position is a multiple of 8.
+    #[inline]
+    pub fn align_to_byte(&mut self) {
+        let residual = (self.position() % 8) as u32;
+        if residual != 0 {
+            // Aligning never runs past the end: a non-zero residual means the
+            // current byte exists and its remaining bits are in the buffer.
+            let _ = self.consume(8 - residual);
+        }
+    }
+
+    /// Reads `out.len()` bytes starting at the current (byte-aligned)
+    /// position. The reader must be byte-aligned.
+    pub fn read_bytes(&mut self, out: &mut [u8]) -> Result<(), BitIoError> {
+        assert_eq!(
+            self.position() % 8,
+            0,
+            "read_bytes requires a byte-aligned reader"
+        );
+        let start = (self.position() / 8) as usize;
+        let end = start + out.len();
+        if end > self.data.len() {
+            return Err(BitIoError::UnexpectedEof {
+                position: self.position(),
+                requested: (out.len() * 8) as u32,
+                available: self.remaining_bits(),
+            });
+        }
+        out.copy_from_slice(&self.data[start..end]);
+        self.bit_buffer = 0;
+        self.bit_count = 0;
+        self.next_byte = end;
+        Ok(())
+    }
+
+    /// Reads a little-endian `u16` from a byte-aligned position.
+    pub fn read_u16_le(&mut self) -> Result<u16, BitIoError> {
+        let mut buf = [0u8; 2];
+        self.read_bytes(&mut buf)?;
+        Ok(u16::from_le_bytes(buf))
+    }
+
+    /// Reads a little-endian `u32` from a byte-aligned position.
+    pub fn read_u32_le(&mut self) -> Result<u32, BitIoError> {
+        let mut buf = [0u8; 4];
+        self.read_bytes(&mut buf)?;
+        Ok(u32::from_le_bytes(buf))
+    }
+
+    /// Returns a sub-slice of the underlying data without consuming it.
+    /// `byte_offset` is absolute within the data.
+    pub fn bytes_at(&self, byte_offset: usize, length: usize) -> Option<&'a [u8]> {
+        self.data.get(byte_offset..byte_offset + length)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn reads_lsb_first() {
+        // 0b1011_0100, 0b0000_0001
+        let data = [0xB4u8, 0x01];
+        let mut reader = BitReader::new(&data);
+        assert_eq!(reader.read(1).unwrap(), 0); // LSB of 0xB4
+        assert_eq!(reader.read(2).unwrap(), 0b10);
+        assert_eq!(reader.read(5).unwrap(), 0b10110);
+        assert_eq!(reader.position(), 8);
+        assert_eq!(reader.read(8).unwrap(), 1);
+        assert!(reader.is_at_end());
+    }
+
+    #[test]
+    fn read_across_byte_boundaries() {
+        let data = [0xFF, 0x00, 0xAA, 0x55];
+        let mut reader = BitReader::new(&data);
+        assert_eq!(reader.read(12).unwrap(), 0x0FF);
+        assert_eq!(reader.read(12).unwrap(), 0xAA0);
+        assert_eq!(reader.read(8).unwrap(), 0x55);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let data = [0xCD, 0xAB];
+        let mut reader = BitReader::new(&data);
+        assert_eq!(reader.peek(16), 0xABCD);
+        assert_eq!(reader.peek(16), 0xABCD);
+        assert_eq!(reader.position(), 0);
+        reader.consume(4).unwrap();
+        assert_eq!(reader.peek(12), 0xABC);
+    }
+
+    #[test]
+    fn peek_past_end_is_zero_padded() {
+        let data = [0x0F];
+        let mut reader = BitReader::new(&data);
+        assert_eq!(reader.peek(16), 0x000F);
+        assert_eq!(reader.read(8).unwrap(), 0x0F);
+        assert_eq!(reader.peek(8), 0);
+        assert!(reader.read(1).is_err());
+    }
+
+    #[test]
+    fn eof_error_reports_positions() {
+        let data = [0xFF];
+        let mut reader = BitReader::new(&data);
+        reader.read(6).unwrap();
+        match reader.read(4) {
+            Err(BitIoError::UnexpectedEof {
+                position,
+                requested,
+                available,
+            }) => {
+                assert_eq!(position, 6);
+                assert_eq!(requested, 4);
+                assert_eq!(available, 2);
+            }
+            other => panic!("expected EOF error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn too_many_bits_is_rejected() {
+        let data = [0u8; 32];
+        let mut reader = BitReader::new(&data);
+        assert!(matches!(reader.read(58), Err(BitIoError::TooManyBits(58))));
+        assert!(matches!(
+            reader.consume(64),
+            Err(BitIoError::TooManyBits(64))
+        ));
+    }
+
+    #[test]
+    fn seek_to_arbitrary_bit_offsets() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        let mut reader = BitReader::new(&data);
+        reader.seek_to_bit(8 * 100 + 3).unwrap();
+        assert_eq!(reader.position(), 803);
+        assert_eq!(reader.read(5).unwrap(), (100u64 >> 3) & 0x1F);
+        reader.seek_to_bit(0).unwrap();
+        assert_eq!(reader.read(8).unwrap(), 0);
+        assert!(reader.seek_to_bit(reader.size_in_bits() + 1).is_err());
+        reader.seek_to_bit(reader.size_in_bits()).unwrap();
+        assert!(reader.is_at_end());
+    }
+
+    #[test]
+    fn align_to_byte_behaviour() {
+        let data = [0xFF, 0xEE, 0xDD];
+        let mut reader = BitReader::new(&data);
+        reader.align_to_byte();
+        assert_eq!(reader.position(), 0);
+        reader.read(3).unwrap();
+        reader.align_to_byte();
+        assert_eq!(reader.position(), 8);
+        assert_eq!(reader.read(8).unwrap(), 0xEE);
+    }
+
+    #[test]
+    fn read_bytes_and_le_helpers() {
+        let data = [0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07];
+        let mut reader = BitReader::new(&data);
+        assert_eq!(reader.read_u16_le().unwrap(), 0x0201);
+        assert_eq!(reader.read_u32_le().unwrap(), 0x06050403);
+        let mut rest = [0u8; 1];
+        reader.read_bytes(&mut rest).unwrap();
+        assert_eq!(rest, [0x07]);
+        assert!(reader.read_bytes(&mut rest).is_err());
+    }
+
+    #[test]
+    fn bytes_at_returns_subslices() {
+        let data = [1, 2, 3, 4];
+        let reader = BitReader::new(&data);
+        assert_eq!(reader.bytes_at(1, 2), Some(&data[1..3]));
+        assert_eq!(reader.bytes_at(3, 2), None);
+    }
+
+    proptest! {
+        #[test]
+        fn chunked_reads_match_reference(data in proptest::collection::vec(any::<u8>(), 0..256),
+                                         chunk_sizes in proptest::collection::vec(1u32..25, 0..200)) {
+            let mut reader = BitReader::new(&data);
+            let mut bit_position = 0u64;
+            for &count in &chunk_sizes {
+                let total_bits = data.len() as u64 * 8;
+                let value = reader.read(count);
+                if bit_position + count as u64 > total_bits {
+                    prop_assert!(value.is_err());
+                    break;
+                }
+                // Reference: extract bits one by one from the byte slice.
+                let mut expected = 0u64;
+                for i in 0..count as u64 {
+                    let bit_index = bit_position + i;
+                    let byte = data[(bit_index / 8) as usize];
+                    let bit = (byte >> (bit_index % 8)) & 1;
+                    expected |= (bit as u64) << i;
+                }
+                prop_assert_eq!(value.unwrap(), expected);
+                bit_position += count as u64;
+            }
+        }
+
+        #[test]
+        fn seek_then_read_matches_fresh_reader(data in proptest::collection::vec(any::<u8>(), 1..128),
+                                               offset_frac in 0.0f64..1.0) {
+            let total_bits = data.len() as u64 * 8;
+            let offset = ((total_bits - 1) as f64 * offset_frac) as u64;
+            let mut seeked = BitReader::new(&data);
+            seeked.seek_to_bit(offset).unwrap();
+
+            let mut sequential = BitReader::new(&data);
+            let mut skipped = 0u64;
+            while skipped < offset {
+                let step = (offset - skipped).min(32) as u32;
+                sequential.read(step).unwrap();
+                skipped += step as u64;
+            }
+            let remaining = (total_bits - offset).min(20) as u32;
+            prop_assert_eq!(seeked.read(remaining).unwrap(), sequential.read(remaining).unwrap());
+        }
+    }
+}

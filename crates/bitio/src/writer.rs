@@ -1,0 +1,165 @@
+//! LSB-first bit writer used by the DEFLATE compressor and by tests that
+//! construct hand-crafted bit streams.
+
+use crate::low_bit_mask;
+
+/// An LSB-first bit writer that accumulates into a `Vec<u8>`.
+///
+/// This is the exact inverse of [`crate::BitReader`]: a stream written with
+/// `write_bits(v, n)` calls reads back the same values with `read(n)`.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits not yet flushed to `bytes` (low bits first).
+    bit_buffer: u64,
+    /// Number of valid bits in `bit_buffer` (always < 8 after `flush_full_bytes`).
+    bit_count: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a writer with a pre-allocated output capacity in bytes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            bytes: Vec::with_capacity(capacity),
+            bit_buffer: 0,
+            bit_count: 0,
+        }
+    }
+
+    /// Current length of the produced stream in bits.
+    #[inline]
+    pub fn position(&self) -> u64 {
+        self.bytes.len() as u64 * 8 + self.bit_count as u64
+    }
+
+    #[inline]
+    fn flush_full_bytes(&mut self) {
+        while self.bit_count >= 8 {
+            self.bytes.push((self.bit_buffer & 0xFF) as u8);
+            self.bit_buffer >>= 8;
+            self.bit_count -= 8;
+        }
+    }
+
+    /// Appends the low `count` bits of `value`, LSB first. `count` must be
+    /// at most 56.
+    #[inline]
+    pub fn write_bits(&mut self, value: u64, count: u32) {
+        assert!(count <= 56, "write_bits supports at most 56 bits per call");
+        self.bit_buffer |= (value & low_bit_mask(count)) << self.bit_count;
+        self.bit_count += count;
+        self.flush_full_bytes();
+    }
+
+    /// Writes a Huffman code given MSB-first (as canonical codes are
+    /// defined); the bits are emitted in the reversed order DEFLATE expects.
+    #[inline]
+    pub fn write_huffman_code(&mut self, code: u32, length: u32) {
+        let reversed = crate::reverse_bits(code, length);
+        self.write_bits(reversed as u64, length);
+    }
+
+    /// Pads with zero bits up to the next byte boundary.
+    pub fn align_to_byte(&mut self) {
+        if self.bit_count % 8 != 0 {
+            let padding = 8 - (self.bit_count % 8);
+            self.write_bits(0, padding);
+        }
+    }
+
+    /// Appends whole bytes. The writer must be byte-aligned.
+    pub fn write_bytes(&mut self, data: &[u8]) {
+        assert_eq!(
+            self.bit_count % 8,
+            0,
+            "write_bytes requires a byte-aligned writer"
+        );
+        self.flush_full_bytes();
+        debug_assert_eq!(self.bit_count, 0);
+        self.bytes.extend_from_slice(data);
+    }
+
+    /// Finishes the stream, padding the final partial byte with zeros, and
+    /// returns the accumulated bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.align_to_byte();
+        self.flush_full_bytes();
+        debug_assert_eq!(self.bit_count, 0);
+        self.bytes
+    }
+
+    /// Read-only view of the fully flushed bytes produced so far.
+    pub fn flushed_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BitReader;
+    use proptest::prelude::*;
+
+    #[test]
+    fn writes_lsb_first() {
+        let mut writer = BitWriter::new();
+        writer.write_bits(0b0, 1);
+        writer.write_bits(0b10, 2);
+        writer.write_bits(0b10110, 5);
+        let bytes = writer.finish();
+        assert_eq!(bytes, vec![0xB4]);
+    }
+
+    #[test]
+    fn align_and_write_bytes() {
+        let mut writer = BitWriter::new();
+        writer.write_bits(0b101, 3);
+        writer.align_to_byte();
+        writer.write_bytes(&[0xDE, 0xAD]);
+        assert_eq!(writer.position(), 24);
+        let bytes = writer.finish();
+        assert_eq!(bytes, vec![0b0000_0101, 0xDE, 0xAD]);
+    }
+
+    #[test]
+    fn huffman_code_round_trip() {
+        // Code 0b110 of length 3 (MSB-first) must read back as 0b110 when the
+        // reader re-reverses the peeked bits.
+        let mut writer = BitWriter::new();
+        writer.write_huffman_code(0b110, 3);
+        let bytes = writer.finish();
+        let mut reader = BitReader::new(&bytes);
+        let raw = reader.read(3).unwrap() as u32;
+        assert_eq!(crate::reverse_bits(raw, 3), 0b110);
+    }
+
+    #[test]
+    fn position_tracks_unflushed_bits() {
+        let mut writer = BitWriter::new();
+        assert_eq!(writer.position(), 0);
+        writer.write_bits(0x3, 2);
+        assert_eq!(writer.position(), 2);
+        writer.write_bits(0xFFFF, 16);
+        assert_eq!(writer.position(), 18);
+    }
+
+    proptest! {
+        #[test]
+        fn writer_reader_round_trip(values in proptest::collection::vec((any::<u64>(), 1u32..25), 0..200)) {
+            let mut writer = BitWriter::new();
+            for &(value, count) in &values {
+                writer.write_bits(value, count);
+            }
+            let bytes = writer.finish();
+            let mut reader = BitReader::new(&bytes);
+            for &(value, count) in &values {
+                prop_assert_eq!(reader.read(count).unwrap(), value & crate::low_bit_mask(count));
+            }
+        }
+    }
+}

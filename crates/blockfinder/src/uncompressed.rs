@@ -1,0 +1,135 @@
+//! Finder for Non-Compressed (stored) DEFLATE blocks (§3.4.1).
+//!
+//! A stored block header ends with a byte-aligned pair of 16-bit length and
+//! one's-complement length fields.  The finder scans byte positions, checks
+//! the LEN/NLEN pair, and additionally requires the final-block bit, the two
+//! block-type bits and the alignment padding (all of which sit in the high
+//! bits of the preceding byte) to be zero, which reduces the false-positive
+//! rate from once per 64 KiB to roughly once per 512 KiB of random data.
+
+use crate::BlockFinder;
+
+/// Finder for Non-Compressed Blocks.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct UncompressedBlockFinder;
+
+impl UncompressedBlockFinder {
+    /// Creates a finder.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Scans for the next candidate and returns the bit offset of the
+    /// final-block bit (assuming zero-length padding; stored-block offsets
+    /// are inherently ambiguous, see the paper).
+    pub fn find_next_offset(&self, data: &[u8], start_bit: u64) -> Option<u64> {
+        if data.len() < 5 {
+            return None;
+        }
+        // The candidate header occupies the high 3 bits of byte `b` and the
+        // LEN/NLEN pair occupies bytes `b + 1 .. b + 5`.  The earliest byte
+        // whose header bits lie at or after `start_bit` is derived from the
+        // bit offset of the final-block bit: (b * 8) + 5 >= start_bit.
+        let mut header_byte = (start_bit.saturating_add(2) / 8) as usize;
+        if (header_byte as u64) * 8 + 5 < start_bit {
+            header_byte += 1;
+        }
+        while header_byte + 5 <= data.len().saturating_sub(0) && header_byte + 4 < data.len() {
+            let header = data[header_byte];
+            // Final-block bit, both block-type bits and the padding must be 0.
+            if header >> 5 == 0 {
+                let length = u16::from_le_bytes([data[header_byte + 1], data[header_byte + 2]]);
+                let complement =
+                    u16::from_le_bytes([data[header_byte + 3], data[header_byte + 4]]);
+                if length == !complement {
+                    return Some(header_byte as u64 * 8 + 5);
+                }
+            }
+            header_byte += 1;
+        }
+        None
+    }
+}
+
+impl BlockFinder for UncompressedBlockFinder {
+    fn find_next(&self, data: &[u8], start_bit: u64) -> Option<u64> {
+        self.find_next_offset(data, start_bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use rgz_bitio::{BitReader, BitWriter};
+    use rgz_deflate::write_stored_block;
+
+    #[test]
+    fn finds_a_stored_block_after_garbage() {
+        let mut writer = BitWriter::new();
+        // Some non-zero leading bits that cannot be misread as a candidate.
+        writer.write_bits(0xFFFF_FFFF, 32);
+        writer.write_bits(0b111, 3);
+        write_stored_block(&mut writer, b"stored payload", false);
+        writer.write_bits(0x5555, 16);
+        let bytes = writer.finish();
+
+        let finder = UncompressedBlockFinder::new();
+        let offset = finder.find_next(&bytes, 0).expect("must find the stored block");
+        // Decoding from the found offset must yield the stored payload.
+        let mut reader = BitReader::new(&bytes);
+        reader.seek_to_bit(offset).unwrap();
+        let mut out = Vec::new();
+        let outcome = rgz_deflate::inflate(&mut reader, &[], &mut out, offset + 1);
+        // Only one block is decoded (the next "block" is garbage), so allow
+        // an error after the first block; the payload must still be there.
+        match outcome {
+            Ok(_) | Err(_) => assert!(out.starts_with(b"stored payload")),
+        }
+    }
+
+    #[test]
+    fn respects_the_start_offset() {
+        let mut writer = BitWriter::new();
+        write_stored_block(&mut writer, b"first", false);
+        write_stored_block(&mut writer, b"second", false);
+        let bytes = writer.finish();
+        let finder = UncompressedBlockFinder::new();
+        let first = finder.find_next(&bytes, 0).unwrap();
+        let second = finder.find_next(&bytes, first + 1).unwrap();
+        assert!(second > first);
+        let mut reader = BitReader::new(&bytes);
+        reader.seek_to_bit(second).unwrap();
+        let mut out = Vec::new();
+        let _ = rgz_deflate::inflate(&mut reader, &[], &mut out, second + 1);
+        assert!(out.starts_with(b"second"));
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_yield_nothing() {
+        let finder = UncompressedBlockFinder::new();
+        assert_eq!(finder.find_next(&[], 0), None);
+        assert_eq!(finder.find_next(&[0u8; 4], 0), None);
+    }
+
+    #[test]
+    fn false_positive_rate_on_random_data_is_about_once_per_512_kib() {
+        // The paper reports (514 ± 23) KiB per false positive on random data
+        // (§3.4.1). Verify we are within a factor of two of that.
+        let mut rng = StdRng::seed_from_u64(0xB10C);
+        let data: Vec<u8> = (0..4 * 1024 * 1024).map(|_| rng.gen()).collect();
+        let finder = UncompressedBlockFinder::new();
+        let mut count = 0u64;
+        let mut offset = 0u64;
+        while let Some(found) = finder.find_next(&data, offset) {
+            count += 1;
+            offset = found + 1;
+        }
+        let kib_per_false_positive = (data.len() as f64 / 1024.0) / count.max(1) as f64;
+        assert!(
+            (256.0..=1024.0).contains(&kib_per_false_positive),
+            "false positive spacing {kib_per_false_positive} KiB is out of range"
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Adler-32 checksum as used by zlib streams (RFC 1950).
+
+const MODULUS: u32 = 65_521;
+/// Largest number of bytes that can be accumulated before the 32-bit sums
+/// must be reduced modulo [`MODULUS`] (same bound zlib uses).
+const MAX_CHUNK: usize = 5552;
+
+/// Incremental Adler-32 hasher.
+#[derive(Debug, Clone)]
+pub struct Adler32 {
+    a: u32,
+    b: u32,
+}
+
+impl Default for Adler32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Adler32 {
+    /// Creates a hasher with the standard initial state (1).
+    pub fn new() -> Self {
+        Self { a: 1, b: 0 }
+    }
+
+    /// Resumes hashing from a previously finalized Adler-32 value.
+    pub fn from_state(adler: u32) -> Self {
+        Self {
+            a: adler & 0xFFFF,
+            b: adler >> 16,
+        }
+    }
+
+    /// Feeds `data` into the hash.
+    pub fn update(&mut self, data: &[u8]) {
+        for chunk in data.chunks(MAX_CHUNK) {
+            for &byte in chunk {
+                self.a += byte as u32;
+                self.b += self.a;
+            }
+            self.a %= MODULUS;
+            self.b %= MODULUS;
+        }
+    }
+
+    /// Returns the Adler-32 of everything fed so far.
+    pub fn finalize(&self) -> u32 {
+        (self.b << 16) | self.a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let data: Vec<u8> = (0..20_000u32).map(|i| (i % 251) as u8).collect();
+        let mut incremental = Adler32::new();
+        for chunk in data.chunks(97) {
+            incremental.update(chunk);
+        }
+        let mut one_shot = Adler32::new();
+        one_shot.update(&data);
+        assert_eq!(incremental.finalize(), one_shot.finalize());
+    }
+
+    #[test]
+    fn from_state_resumes() {
+        let data = b"the adler checksum can be resumed from a finalized value";
+        let (first, second) = data.split_at(20);
+        let mut one = Adler32::new();
+        one.update(first);
+        let mut resumed = Adler32::from_state(one.finalize());
+        resumed.update(second);
+        let mut whole = Adler32::new();
+        whole.update(data);
+        assert_eq!(resumed.finalize(), whole.finalize());
+    }
+
+    proptest! {
+        #[test]
+        fn matches_naive_definition(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+            let mut a: u64 = 1;
+            let mut b: u64 = 0;
+            for &byte in &data {
+                a = (a + byte as u64) % MODULUS as u64;
+                b = (b + a) % MODULUS as u64;
+            }
+            let expected = ((b as u32) << 16) | a as u32;
+            let mut hasher = Adler32::new();
+            hasher.update(&data);
+            prop_assert_eq!(hasher.finalize(), expected);
+        }
+    }
+}

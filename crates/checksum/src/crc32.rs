@@ -1,0 +1,216 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) with slicing-by-eight.
+
+const POLYNOMIAL: u32 = 0xEDB88320;
+
+/// Eight 256-entry tables for the slicing-by-eight algorithm, generated at
+/// compile time.
+const TABLES: [[u32; 256]; 8] = build_tables();
+
+const fn build_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLYNOMIAL
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        tables[0][i] = crc;
+        i += 1;
+    }
+    let mut table = 1;
+    while table < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let previous = tables[table - 1][i];
+            tables[table][i] = (previous >> 8) ^ tables[0][(previous & 0xFF) as usize];
+            i += 1;
+        }
+        table += 1;
+    }
+    tables
+}
+
+/// Incremental CRC-32 hasher.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+    length: u64,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Creates a hasher with the standard initial state.
+    pub fn new() -> Self {
+        Self {
+            state: 0xFFFF_FFFF,
+            length: 0,
+        }
+    }
+
+    /// Resumes hashing from a previously finalized CRC value.
+    pub fn from_state(crc: u32, length: u64) -> Self {
+        Self {
+            state: !crc,
+            length,
+        }
+    }
+
+    /// Number of bytes hashed so far.
+    pub fn length(&self) -> u64 {
+        self.length
+    }
+
+    /// Feeds `data` into the hash.
+    pub fn update(&mut self, data: &[u8]) {
+        self.length += data.len() as u64;
+        let mut crc = self.state;
+        let mut chunks = data.chunks_exact(8);
+        for chunk in &mut chunks {
+            let low = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]) ^ crc;
+            let high = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+            crc = TABLES[7][(low & 0xFF) as usize]
+                ^ TABLES[6][((low >> 8) & 0xFF) as usize]
+                ^ TABLES[5][((low >> 16) & 0xFF) as usize]
+                ^ TABLES[4][((low >> 24) & 0xFF) as usize]
+                ^ TABLES[3][(high & 0xFF) as usize]
+                ^ TABLES[2][((high >> 8) & 0xFF) as usize]
+                ^ TABLES[1][((high >> 16) & 0xFF) as usize]
+                ^ TABLES[0][((high >> 24) & 0xFF) as usize];
+        }
+        for &byte in chunks.remainder() {
+            crc = (crc >> 8) ^ TABLES[0][((crc ^ byte as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// Returns the CRC-32 of everything fed so far.
+    pub fn finalize(&self) -> u32 {
+        !self.state
+    }
+}
+
+// --- crc32_combine -----------------------------------------------------------
+//
+// CRCs over GF(2) are linear: appending `len2` zero bytes to the first buffer
+// corresponds to multiplying its CRC by x^(8*len2) modulo the CRC polynomial.
+// We represent that operator as a 32x32 bit matrix and exponentiate by
+// repeated squaring, the same approach zlib takes.
+
+type Matrix = [u32; 32];
+
+fn matrix_times_vector(matrix: &Matrix, mut vector: u32) -> u32 {
+    let mut result = 0u32;
+    let mut index = 0;
+    while vector != 0 {
+        if vector & 1 != 0 {
+            result ^= matrix[index];
+        }
+        vector >>= 1;
+        index += 1;
+    }
+    result
+}
+
+fn matrix_square(destination: &mut Matrix, source: &Matrix) {
+    for (column, entry) in destination.iter_mut().enumerate() {
+        *entry = matrix_times_vector(source, source[column]);
+    }
+}
+
+pub(crate) fn combine(crc_a: u32, crc_b: u32, mut len_b: u64) -> u32 {
+    if len_b == 0 {
+        return crc_a;
+    }
+
+    // Operator for one zero bit.
+    let mut odd: Matrix = [0; 32];
+    odd[0] = POLYNOMIAL;
+    let mut row = 1u32;
+    for entry in odd.iter_mut().skip(1) {
+        *entry = row;
+        row <<= 1;
+    }
+    let mut even: Matrix = [0; 32];
+
+    // odd = operator for one zero bit; square it to get operators for
+    // 2, 4, 8, ... zero bits and apply those matching the binary
+    // representation of len_b * 8.
+    matrix_square(&mut even, &odd); // 2 bits
+    matrix_square(&mut odd, &even); // 4 bits
+
+    let mut crc = crc_a;
+    loop {
+        matrix_square(&mut even, &odd); // even = odd^2
+        if len_b & 1 != 0 {
+            crc = matrix_times_vector(&even, crc);
+        }
+        len_b >>= 1;
+        if len_b == 0 {
+            break;
+        }
+        matrix_square(&mut odd, &even);
+        if len_b & 1 != 0 {
+            crc = matrix_times_vector(&odd, crc);
+        }
+        len_b >>= 1;
+        if len_b == 0 {
+            break;
+        }
+    }
+    crc ^ crc_b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_zero_matches_bitwise_definition() {
+        for byte in 0u32..256 {
+            let mut crc = byte;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 { (crc >> 1) ^ POLYNOMIAL } else { crc >> 1 };
+            }
+            assert_eq!(TABLES[0][byte as usize], crc);
+        }
+    }
+
+    #[test]
+    fn slicing_matches_bytewise() {
+        let data: Vec<u8> = (0..4096u32).map(|i| (i.wrapping_mul(2_654_435_761)) as u8).collect();
+        // Byte-wise reference.
+        let mut reference = 0xFFFF_FFFFu32;
+        for &byte in &data {
+            reference = (reference >> 8) ^ TABLES[0][((reference ^ byte as u32) & 0xFF) as usize];
+        }
+        let mut crc = Crc32::new();
+        crc.update(&data);
+        assert_eq!(crc.finalize(), !reference);
+        assert_eq!(crc.length(), data.len() as u64);
+    }
+
+    #[test]
+    fn from_state_resumes() {
+        let data = b"resume me please, I am a buffer";
+        let (first, second) = data.split_at(11);
+        let mut one = Crc32::new();
+        one.update(first);
+        let mut resumed = Crc32::from_state(one.finalize(), one.length());
+        resumed.update(second);
+        let mut whole = Crc32::new();
+        whole.update(data);
+        assert_eq!(resumed.finalize(), whole.finalize());
+        assert_eq!(resumed.length(), data.len() as u64);
+    }
+}

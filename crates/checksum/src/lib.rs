@@ -1,0 +1,85 @@
+//! Checksums required by the gzip and zlib container formats.
+//!
+//! Both are implemented from scratch: CRC-32 (IEEE, reflected polynomial
+//! `0xEDB88320`) using the slicing-by-eight technique so that checksum
+//! computation does not dominate single-threaded decompression, and Adler-32
+//! for zlib streams.
+
+mod adler32;
+mod crc32;
+
+pub use adler32::Adler32;
+pub use crc32::Crc32;
+
+/// Convenience helper: CRC-32 of a whole buffer.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(data);
+    crc.finalize()
+}
+
+/// Convenience helper: Adler-32 of a whole buffer.
+pub fn adler32(data: &[u8]) -> u32 {
+    let mut adler = Adler32::new();
+    adler.update(data);
+    adler.finalize()
+}
+
+/// Combines two CRC-32 values computed over consecutive buffers, as if the
+/// buffers had been hashed in one pass.  `crc_b` is the CRC of the second
+/// buffer and `len_b` its length in bytes.
+///
+/// This is the same construction `zlib`'s `crc32_combine` uses and allows the
+/// parallel decompressor to verify whole-stream checksums even though chunks
+/// are hashed independently on worker threads.
+pub fn crc32_combine(crc_a: u32, crc_b: u32, len_b: u64) -> u32 {
+    crc32::combine(crc_a, crc_b, len_b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF43926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414FA339);
+        assert_eq!(crc32(&[0u8; 32]), 0x190A55AD);
+        assert_eq!(crc32(&[0xFFu8; 32]), 0xFF6CAB0B);
+    }
+
+    #[test]
+    fn adler32_known_vectors() {
+        assert_eq!(adler32(b""), 1);
+        assert_eq!(adler32(b"Wikipedia"), 0x11E60398);
+        assert_eq!(adler32(b"123456789"), 0x091E01DE);
+    }
+
+    #[test]
+    fn crc32_incremental_matches_one_shot() {
+        let data: Vec<u8> = (0..1024u32).map(|i| (i * 7 + 3) as u8).collect();
+        let mut crc = Crc32::new();
+        for chunk in data.chunks(13) {
+            crc.update(chunk);
+        }
+        assert_eq!(crc.finalize(), crc32(&data));
+    }
+
+    #[test]
+    fn crc32_combine_matches_concatenation() {
+        let a: Vec<u8> = (0..777u32).map(|i| (i ^ 0x5A) as u8).collect();
+        let b: Vec<u8> = (0..1234u32).map(|i| (i.wrapping_mul(31)) as u8).collect();
+        let mut whole = a.clone();
+        whole.extend_from_slice(&b);
+        let combined = crc32_combine(crc32(&a), crc32(&b), b.len() as u64);
+        assert_eq!(combined, crc32(&whole));
+    }
+
+    #[test]
+    fn crc32_combine_with_empty_parts() {
+        let a = b"hello world".as_slice();
+        assert_eq!(crc32_combine(crc32(a), crc32(b""), 0), crc32(a));
+        assert_eq!(crc32_combine(crc32(b""), crc32(a), a.len() as u64), crc32(a));
+    }
+}

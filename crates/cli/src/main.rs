@@ -1,0 +1,196 @@
+//! `rgzip` — a rapidgzip-style command line tool.
+//!
+//! ```text
+//! rgzip [OPTIONS] <FILE>
+//!
+//!   -d, --decompress          decompress FILE to stdout (default action)
+//!   -P, --threads <N>         number of decompression threads (default: all cores)
+//!       --chunk-size <KiB>    compressed chunk size in KiB (default: 4096)
+//!       --count-lines         count newlines instead of writing the output
+//!       --export-index <PATH> write the seek-point index to PATH
+//!       --import-index <PATH> load a seek-point index from PATH
+//!       --serial              use the single-threaded decoder (baseline)
+//!   -o, --output <PATH>       write output to PATH instead of stdout
+//!   -h, --help                show this help
+//! ```
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use rgz_core::{ParallelGzipReader, ParallelGzipReaderOptions};
+use rgz_index::GzipIndex;
+use rgz_io::SharedFileReader;
+
+struct Options {
+    file: String,
+    threads: usize,
+    chunk_size_kib: usize,
+    count_lines: bool,
+    export_index: Option<String>,
+    import_index: Option<String>,
+    serial: bool,
+    output: Option<String>,
+}
+
+fn print_usage() {
+    eprintln!("usage: rgzip [-d] [-P N] [--chunk-size KiB] [--count-lines]");
+    eprintln!("             [--export-index PATH] [--import-index PATH] [--serial]");
+    eprintln!("             [-o OUTPUT] FILE");
+}
+
+fn parse_arguments() -> Result<Options, String> {
+    let mut arguments = std::env::args().skip(1);
+    let mut options = Options {
+        file: String::new(),
+        threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        chunk_size_kib: 4096,
+        count_lines: false,
+        export_index: None,
+        import_index: None,
+        serial: false,
+        output: None,
+    };
+    let next_value = |arguments: &mut dyn Iterator<Item = String>, flag: &str| {
+        arguments
+            .next()
+            .ok_or_else(|| format!("missing value for {flag}"))
+    };
+    while let Some(argument) = arguments.next() {
+        match argument.as_str() {
+            "-h" | "--help" => {
+                print_usage();
+                std::process::exit(0);
+            }
+            "-d" | "--decompress" => {}
+            "--serial" => options.serial = true,
+            "--count-lines" => options.count_lines = true,
+            "-P" | "--threads" => {
+                options.threads = next_value(&mut arguments, "-P")?
+                    .parse()
+                    .map_err(|e| format!("invalid thread count: {e}"))?;
+            }
+            "--chunk-size" => {
+                options.chunk_size_kib = next_value(&mut arguments, "--chunk-size")?
+                    .parse()
+                    .map_err(|e| format!("invalid chunk size: {e}"))?;
+            }
+            "--export-index" => {
+                options.export_index = Some(next_value(&mut arguments, "--export-index")?);
+            }
+            "--import-index" => {
+                options.import_index = Some(next_value(&mut arguments, "--import-index")?);
+            }
+            "-o" | "--output" => {
+                options.output = Some(next_value(&mut arguments, "-o")?);
+            }
+            other if !other.starts_with('-') && options.file.is_empty() => {
+                options.file = other.to_string();
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if options.file.is_empty() {
+        return Err("no input file given".to_string());
+    }
+    Ok(options)
+}
+
+fn run(options: &Options) -> Result<(), String> {
+    let start = std::time::Instant::now();
+
+    let mut sink: Box<dyn Write> = match &options.output {
+        Some(path) => Box::new(std::io::BufWriter::new(
+            std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,
+        )),
+        None => Box::new(std::io::BufWriter::new(std::io::stdout())),
+    };
+
+    let total_bytes;
+    let mut line_count = 0u64;
+
+    if options.serial {
+        let compressed =
+            std::fs::read(&options.file).map_err(|e| format!("cannot read {}: {e}", options.file))?;
+        let data = rgz_gzip::decompress(&compressed).map_err(|e| e.to_string())?;
+        total_bytes = data.len() as u64;
+        if options.count_lines {
+            line_count = data.iter().filter(|&&b| b == b'\n').count() as u64;
+        } else {
+            sink.write_all(&data).map_err(|e| e.to_string())?;
+        }
+    } else {
+        let reader_options = ParallelGzipReaderOptions {
+            parallelization: options.threads.max(1),
+            chunk_size: options.chunk_size_kib.max(4) * 1024,
+            ..Default::default()
+        };
+        let shared = SharedFileReader::open(&options.file)
+            .map_err(|e| format!("cannot open {}: {e}", options.file))?;
+        let mut reader = match &options.import_index {
+            Some(path) => {
+                let serialized =
+                    std::fs::read(path).map_err(|e| format!("cannot read index {path}: {e}"))?;
+                let index = GzipIndex::import(&serialized).map_err(|e| e.to_string())?;
+                ParallelGzipReader::with_index(shared, reader_options, index)
+            }
+            None => ParallelGzipReader::new(shared, reader_options),
+        }
+        .map_err(|e| e.to_string())?;
+
+        let mut buffer = vec![0u8; 4 << 20];
+        let mut written = 0u64;
+        loop {
+            let read = std::io::Read::read(&mut reader, &mut buffer).map_err(|e| e.to_string())?;
+            if read == 0 {
+                break;
+            }
+            if options.count_lines {
+                line_count += buffer[..read].iter().filter(|&&b| b == b'\n').count() as u64;
+            } else {
+                sink.write_all(&buffer[..read]).map_err(|e| e.to_string())?;
+            }
+            written += read as u64;
+        }
+        total_bytes = written;
+
+        if let Some(path) = &options.export_index {
+            let index = reader.build_full_index().map_err(|e| e.to_string())?;
+            std::fs::write(path, index.export()).map_err(|e| e.to_string())?;
+            eprintln!(
+                "rgzip: exported index with {} seek points to {path}",
+                index.block_map.len()
+            );
+        }
+    }
+
+    sink.flush().map_err(|e| e.to_string())?;
+    let elapsed = start.elapsed();
+    if options.count_lines {
+        println!("{line_count}");
+    }
+    eprintln!(
+        "rgzip: {} bytes in {:.2} s ({:.1} MB/s, {} threads)",
+        total_bytes,
+        elapsed.as_secs_f64(),
+        total_bytes as f64 / 1e6 / elapsed.as_secs_f64().max(1e-9),
+        if options.serial { 1 } else { options.threads }
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match parse_arguments() {
+        Ok(options) => match run(&options) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("rgzip: {message}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(message) => {
+            eprintln!("rgzip: {message}");
+            print_usage();
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,420 @@
+//! Chunk decompression tasks.
+//!
+//! Two kinds of chunk decoding exist (§3.3):
+//!
+//! * **Speculative** ([`decode_speculative_chunk`]): a worker thread is given
+//!   a *guessed* chunk start (a multiple of the chunk size), locates the next
+//!   DEFLATE block with the block finder, and decodes in two-stage mode
+//!   producing 16-bit marker symbols because the preceding window is unknown.
+//!   This can fail entirely (no block found) or latch onto a false positive;
+//!   both cases are handled gracefully by the orchestrator.
+//! * **Direct** ([`decode_chunk_at`]): the exact block offset *and* its
+//!   window are known (from the previous chunk or from an index), so the
+//!   chunk decodes straight to bytes without markers — the same fast path
+//!   used when an index has been imported.
+//!
+//! Both tasks read their compressed byte range through the shared
+//! [`FileReader`], growing the range geometrically when a chunk's last block
+//! runs past the guessed boundary.
+
+use rgz_bitio::BitReader;
+use rgz_blockfinder::{BlockFinder, CombinedBlockFinder};
+use rgz_deflate::{inflate, inflate_two_stage, DeflateError, StopReason};
+use rgz_gzip::{parse_footer, parse_header, GzipError};
+use rgz_io::{FileReader, SharedFileReader};
+
+use crate::CoreError;
+
+/// Result of a direct (window-known) chunk decode.
+#[derive(Debug, Clone)]
+pub struct ChunkResult {
+    /// Absolute bit offset decoding started at.
+    pub start_bit_offset: u64,
+    /// Absolute bit offset at which the next chunk starts.
+    pub end_bit_offset: u64,
+    /// Decompressed bytes of this chunk.
+    pub data: Vec<u8>,
+    /// Whether the end of the compressed file was reached.
+    pub reached_end_of_file: bool,
+}
+
+/// Result of a speculative (two-stage) chunk decode.
+#[derive(Debug, Clone)]
+pub struct SpeculativeChunk {
+    /// Guessed bit offset the block search started from.
+    pub requested_bit_offset: u64,
+    /// Bit offset of the block the finder located (the chunk's actual start).
+    pub found_bit_offset: u64,
+    /// Absolute bit offset at which the next chunk starts.
+    pub end_bit_offset: u64,
+    /// 16-bit output symbols (literals and markers).
+    pub symbols: Vec<u16>,
+    /// Number of DEFLATE blocks decoded.
+    pub block_count: usize,
+    /// Whether the end of the compressed file was reached.
+    pub reached_end_of_file: bool,
+}
+
+fn is_eof_like_deflate(error: &DeflateError) -> bool {
+    matches!(error, DeflateError::UnexpectedEof)
+}
+
+fn is_eof_like(error: &CoreError) -> bool {
+    match error {
+        CoreError::Deflate(e) => is_eof_like_deflate(e),
+        CoreError::Gzip(GzipError::Truncated) => true,
+        _ => false,
+    }
+}
+
+/// Reads the compressed range `[start_byte, start_byte + length)`.
+fn read_compressed_range(
+    reader: &SharedFileReader,
+    start_byte: u64,
+    length: u64,
+) -> Result<Vec<u8>, CoreError> {
+    Ok(reader.read_range(start_byte, length as usize)?)
+}
+
+/// Skips the gzip footer at the current (possibly unaligned) position and, if
+/// another member follows, its header too.  Returns `true` if the end of the
+/// input was reached (only trailing zero padding or nothing remains).
+fn cross_member_boundary(reader: &mut BitReader<'_>) -> Result<bool, CoreError> {
+    parse_footer(reader).map_err(CoreError::Gzip)?;
+    // Trailing padding / end of file detection.
+    loop {
+        if reader.remaining_bits() < 8 * 18 {
+            let position = (reader.position() / 8) as usize;
+            let rest = &reader.data()[position..];
+            if rest.iter().all(|&b| b == 0) {
+                return Ok(true);
+            }
+            // Something follows but is too short to be a member: treat as
+            // truncation so the caller can grow the range.
+            return Err(CoreError::Gzip(GzipError::Truncated));
+        }
+        let position = (reader.position() / 8) as usize;
+        if reader.data()[position] == 0 && reader.data()[position + 1] == 0 {
+            // Zero padding between members (rare but legal for bgzip -
+            // produced files); skip one byte and re-check.
+            reader.consume(8).map_err(|_| CoreError::Gzip(GzipError::Truncated))?;
+            continue;
+        }
+        parse_header(reader).map_err(CoreError::Gzip)?;
+        return Ok(false);
+    }
+}
+
+/// Decodes a chunk whose exact start offset and window are known, producing
+/// plain bytes.
+///
+/// * `start_bit_offset` — absolute bit offset of the first DEFLATE block (or
+///   of a gzip member header if `at_member_start` is true).
+/// * `stop_bit_offset` — guessed boundary of the next chunk; decoding stops
+///   at the first Dynamic or Non-Compressed block at or after it.
+/// * `window` — up to 32 KiB of decompressed data preceding the chunk.
+pub fn decode_chunk_at(
+    reader: &SharedFileReader,
+    start_bit_offset: u64,
+    stop_bit_offset: u64,
+    window: &[u8],
+    at_member_start: bool,
+    chunk_size: usize,
+) -> Result<ChunkResult, CoreError> {
+    let file_size = reader.size();
+    let start_byte = start_bit_offset / 8;
+    let mut slack = (chunk_size as u64).max(64 * 1024);
+
+    loop {
+        let stop_byte = stop_bit_offset.div_ceil(8);
+        let range_end = (stop_byte + slack).min(file_size);
+        let range = read_compressed_range(reader, start_byte, range_end - start_byte)?;
+        let range_covers_file_end = start_byte + range.len() as u64 >= file_size;
+
+        let attempt = decode_direct_in_range(
+            &range,
+            start_byte,
+            start_bit_offset,
+            stop_bit_offset,
+            window,
+            at_member_start,
+        );
+        match attempt {
+            Ok(result) => return Ok(result),
+            Err(error) if !range_covers_file_end => {
+                // The chunk extends past the range we read; widen and retry.
+                let _ = error;
+                slack = slack.saturating_mul(4);
+            }
+            Err(error) => return Err(error),
+        }
+    }
+}
+
+fn decode_direct_in_range(
+    range: &[u8],
+    range_start_byte: u64,
+    start_bit_offset: u64,
+    stop_bit_offset: u64,
+    window: &[u8],
+    at_member_start: bool,
+) -> Result<ChunkResult, CoreError> {
+    let range_start_bits = range_start_byte * 8;
+    let mut reader = BitReader::new(range);
+    reader
+        .seek_to_bit(start_bit_offset - range_start_bits)
+        .map_err(|_| CoreError::Deflate(DeflateError::UnexpectedEof))?;
+    let relative_stop = stop_bit_offset.saturating_sub(range_start_bits);
+
+    if at_member_start {
+        parse_header(&mut reader).map_err(CoreError::Gzip)?;
+    }
+
+    let mut data = Vec::new();
+    let mut first_call = true;
+    let mut reached_end_of_file = false;
+    loop {
+        let call_window = if first_call { window } else { &[] };
+        first_call = false;
+        let outcome =
+            inflate(&mut reader, call_window, &mut data, relative_stop).map_err(CoreError::Deflate)?;
+        match outcome.stop_reason {
+            StopReason::StopOffsetReached => break,
+            StopReason::EndOfInput => {
+                return Err(CoreError::Deflate(DeflateError::UnexpectedEof));
+            }
+            StopReason::EndOfStream => {
+                if cross_member_boundary(&mut reader)? {
+                    reached_end_of_file = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    Ok(ChunkResult {
+        start_bit_offset,
+        end_bit_offset: range_start_bits + reader.position(),
+        data,
+        reached_end_of_file,
+    })
+}
+
+/// Speculatively decodes the chunk whose guessed start is
+/// `guess_index * chunk_size` bytes, using the block finder and two-stage
+/// decoding.  Returns `Ok(None)` if no DEFLATE block could be found inside
+/// the guessed chunk range.
+pub fn decode_speculative_chunk(
+    reader: &SharedFileReader,
+    chunk_size: usize,
+    guess_index: usize,
+) -> Result<Option<SpeculativeChunk>, CoreError> {
+    let file_size = reader.size();
+    let guess_byte = (guess_index as u64) * chunk_size as u64;
+    if guess_byte >= file_size {
+        return Ok(None);
+    }
+    let guess_bit = guess_byte * 8;
+    let stop_bit = (guess_byte + chunk_size as u64) * 8;
+    let mut slack = chunk_size as u64;
+
+    loop {
+        let range_end = (stop_bit / 8 + slack).min(file_size);
+        let range = read_compressed_range(reader, guess_byte, range_end - guess_byte)?;
+        let range_covers_file_end = guess_byte + range.len() as u64 >= file_size;
+
+        match decode_speculative_in_range(&range, guess_byte, guess_bit, stop_bit) {
+            SpeculativeOutcome::Found(chunk) => return Ok(Some(chunk)),
+            SpeculativeOutcome::NoBlock => return Ok(None),
+            SpeculativeOutcome::NeedMoreData if !range_covers_file_end => {
+                slack = slack.saturating_mul(4);
+            }
+            SpeculativeOutcome::NeedMoreData => return Ok(None),
+        }
+    }
+}
+
+enum SpeculativeOutcome {
+    Found(SpeculativeChunk),
+    NoBlock,
+    NeedMoreData,
+}
+
+fn decode_speculative_in_range(
+    range: &[u8],
+    range_start_byte: u64,
+    guess_bit: u64,
+    stop_bit: u64,
+) -> SpeculativeOutcome {
+    let range_start_bits = range_start_byte * 8;
+    let relative_guess = guess_bit - range_start_bits;
+    let relative_stop = stop_bit - range_start_bits;
+    let finder = CombinedBlockFinder::new();
+
+    let mut search_from = relative_guess;
+    loop {
+        let Some(candidate) = finder.find_next(range, search_from) else {
+            return SpeculativeOutcome::NoBlock;
+        };
+        if candidate >= relative_stop {
+            // The first candidate block already belongs to the next chunk.
+            return SpeculativeOutcome::NoBlock;
+        }
+
+        match try_speculative_decode(range, candidate, relative_stop) {
+            Ok((symbols, end_position, block_count, reached_end_of_file)) => {
+                return SpeculativeOutcome::Found(SpeculativeChunk {
+                    requested_bit_offset: guess_bit,
+                    found_bit_offset: range_start_bits + candidate,
+                    end_bit_offset: range_start_bits + end_position,
+                    symbols,
+                    block_count,
+                    reached_end_of_file,
+                });
+            }
+            Err(error) if is_eof_like(&error) => {
+                // Could be a genuine block whose data extends past the range
+                // we read: ask the caller for more data.
+                return SpeculativeOutcome::NeedMoreData;
+            }
+            Err(_) => {
+                // False positive: try the next candidate.
+                search_from = candidate + 1;
+            }
+        }
+    }
+}
+
+fn try_speculative_decode(
+    range: &[u8],
+    start: u64,
+    relative_stop: u64,
+) -> Result<(Vec<u16>, u64, usize, bool), CoreError> {
+    let mut reader = BitReader::new(range);
+    reader
+        .seek_to_bit(start)
+        .map_err(|_| CoreError::Deflate(DeflateError::UnexpectedEof))?;
+    let mut symbols = Vec::new();
+    let mut block_count = 0usize;
+    let mut reached_end_of_file = false;
+    loop {
+        let outcome = inflate_two_stage(&mut reader, &mut symbols, relative_stop)
+            .map_err(CoreError::Deflate)?;
+        block_count += outcome.blocks.len();
+        match outcome.stop_reason {
+            StopReason::StopOffsetReached => break,
+            StopReason::EndOfInput => {
+                return Err(CoreError::Deflate(DeflateError::UnexpectedEof));
+            }
+            StopReason::EndOfStream => {
+                if cross_member_boundary(&mut reader)? {
+                    reached_end_of_file = true;
+                    break;
+                }
+            }
+        }
+    }
+    Ok((symbols, reader.position(), block_count, reached_end_of_file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rgz_deflate::replace_markers;
+    use rgz_gzip::GzipWriter;
+
+    fn corpus(records: usize) -> Vec<u8> {
+        let mut data = Vec::new();
+        for i in 0..records {
+            data.extend_from_slice(
+                format!("record {:07} -- some repetitive payload text\n", i % 10_000).as_bytes(),
+            );
+        }
+        data
+    }
+
+    #[test]
+    fn direct_decode_of_whole_small_file() {
+        let data = corpus(2_000);
+        let compressed = GzipWriter::default().compress(&data);
+        let reader = SharedFileReader::from_bytes(compressed);
+        let result = decode_chunk_at(&reader, 0, u64::MAX, &[], true, 128 * 1024).unwrap();
+        assert_eq!(result.data, data);
+        assert!(result.reached_end_of_file);
+    }
+
+    #[test]
+    fn direct_decode_handles_multi_member_files() {
+        let writer = GzipWriter::default();
+        let part_a = corpus(500);
+        let part_b = corpus(700);
+        let compressed = writer.compress_members(&[&part_a, &part_b]);
+        let reader = SharedFileReader::from_bytes(compressed);
+        let result = decode_chunk_at(&reader, 0, u64::MAX, &[], true, 128 * 1024).unwrap();
+        let mut expected = part_a;
+        expected.extend_from_slice(&part_b);
+        assert_eq!(result.data, expected);
+        assert!(result.reached_end_of_file);
+    }
+
+    #[test]
+    fn speculative_chunk_matches_direct_decode() {
+        let data = corpus(60_000);
+        let compressed = GzipWriter::default().compress(&data);
+        let chunk_size = 64 * 1024;
+        let shared = SharedFileReader::from_bytes(compressed);
+
+        // Decode chunk 0 directly to learn the exact boundary and window.
+        let chunk0 = decode_chunk_at(&shared, 0, (chunk_size as u64) * 8, &[], true, chunk_size).unwrap();
+        assert!(!chunk0.reached_end_of_file);
+
+        // Speculatively decode guess index 1 and verify it lines up.
+        let speculative = decode_speculative_chunk(&shared, chunk_size, 1)
+            .unwrap()
+            .expect("a block must be found in chunk 1");
+        assert_eq!(speculative.requested_bit_offset, (chunk_size as u64) * 8);
+        assert_eq!(speculative.found_bit_offset, chunk0.end_bit_offset);
+        assert!(speculative.block_count >= 1);
+
+        // Resolving its markers with chunk 0's window yields the original data.
+        let window_start = chunk0.data.len().saturating_sub(32 * 1024);
+        let resolved = replace_markers(&speculative.symbols, &chunk0.data[window_start..]).unwrap();
+        let offset = chunk0.data.len();
+        assert_eq!(&resolved[..], &data[offset..offset + resolved.len()]);
+    }
+
+    #[test]
+    fn speculative_chunk_beyond_the_file_is_none() {
+        let compressed = GzipWriter::default().compress(&corpus(100));
+        let shared = SharedFileReader::from_bytes(compressed);
+        assert!(decode_speculative_chunk(&shared, 1 << 20, 5).unwrap().is_none());
+    }
+
+    #[test]
+    fn speculative_chunk_in_single_block_file_is_none() {
+        // A Huffman-only single-block file (igzip -0 style) offers no block
+        // boundaries to start from, so speculation must come up empty rather
+        // than hallucinate data.
+        let data = corpus(30_000);
+        let compressed = rgz_gzip::CompressorFrontend::new(rgz_gzip::FrontendKind::Igzip, 0)
+            .compress(&data);
+        let chunk_size = 32 * 1024;
+        let shared = SharedFileReader::from_bytes(compressed.clone());
+        assert!((compressed.len() / chunk_size) > 2);
+        let speculative = decode_speculative_chunk(&shared, chunk_size, 1).unwrap();
+        assert!(
+            speculative.is_none(),
+            "single-block files cannot provide speculative chunks"
+        );
+    }
+
+    #[test]
+    fn direct_decode_with_wrong_offset_fails() {
+        let data = corpus(5_000);
+        let compressed = GzipWriter::default().compress(&data);
+        let shared = SharedFileReader::from_bytes(compressed);
+        // Bit offset 12345 is (almost certainly) not a valid block start.
+        let result = decode_chunk_at(&shared, 12_345, u64::MAX, &[], false, 64 * 1024);
+        assert!(result.is_err());
+    }
+}

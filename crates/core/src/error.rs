@@ -1,0 +1,116 @@
+//! Error type of the parallel reader.
+
+use rgz_deflate::DeflateError;
+use rgz_gzip::GzipError;
+use rgz_index::IndexError;
+
+/// Errors produced by the parallel gzip reader.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Reading the compressed input failed.
+    Io(std::io::Error),
+    /// The gzip container was malformed.
+    Gzip(GzipError),
+    /// A DEFLATE stream was malformed.
+    Deflate(DeflateError),
+    /// Importing an index failed.
+    Index(IndexError),
+    /// No DEFLATE block could be found inside a chunk even though more
+    /// compressed data follows; decompression cannot be parallelized past
+    /// this point without falling back to sequential decoding.
+    NoBlockFound {
+        /// Guessed chunk start (bit offset) where the search began.
+        search_start_bits: u64,
+    },
+    /// An imported index does not match the file (e.g. decoding from a seek
+    /// point failed).
+    IndexMismatch {
+        /// The seek point's compressed bit offset.
+        compressed_bit_offset: u64,
+    },
+    /// A seek targeted an offset beyond the end of the decompressed stream.
+    SeekOutOfRange {
+        /// Requested offset.
+        offset: u64,
+        /// Total decompressed size.
+        size: u64,
+    },
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Io(e) => write!(f, "I/O error: {e}"),
+            CoreError::Gzip(e) => write!(f, "gzip error: {e}"),
+            CoreError::Deflate(e) => write!(f, "DEFLATE error: {e}"),
+            CoreError::Index(e) => write!(f, "index error: {e}"),
+            CoreError::NoBlockFound { search_start_bits } => write!(
+                f,
+                "no DEFLATE block found searching from bit offset {search_start_bits}"
+            ),
+            CoreError::IndexMismatch {
+                compressed_bit_offset,
+            } => write!(
+                f,
+                "index does not match the file at compressed bit offset {compressed_bit_offset}"
+            ),
+            CoreError::SeekOutOfRange { offset, size } => {
+                write!(f, "seek to {offset} is beyond the decompressed size {size}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<std::io::Error> for CoreError {
+    fn from(error: std::io::Error) -> Self {
+        CoreError::Io(error)
+    }
+}
+
+impl From<GzipError> for CoreError {
+    fn from(error: GzipError) -> Self {
+        CoreError::Gzip(error)
+    }
+}
+
+impl From<DeflateError> for CoreError {
+    fn from(error: DeflateError) -> Self {
+        CoreError::Deflate(error)
+    }
+}
+
+impl From<IndexError> for CoreError {
+    fn from(error: IndexError) -> Self {
+        CoreError::Index(error)
+    }
+}
+
+impl From<CoreError> for std::io::Error {
+    fn from(error: CoreError) -> Self {
+        match error {
+            CoreError::Io(e) => e,
+            other => std::io::Error::new(std::io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let io_error: CoreError = std::io::Error::new(std::io::ErrorKind::Other, "disk on fire").into();
+        assert!(io_error.to_string().contains("disk on fire"));
+        let gzip_error: CoreError = GzipError::Truncated.into();
+        assert!(gzip_error.to_string().contains("gzip"));
+        let deflate_error: CoreError = DeflateError::ReservedBlockType.into();
+        assert!(deflate_error.to_string().contains("DEFLATE"));
+        let index_error: CoreError = IndexError::BadMagic.into();
+        assert!(index_error.to_string().contains("index"));
+        let back_to_io: std::io::Error = CoreError::NoBlockFound { search_start_bits: 5 }.into();
+        assert_eq!(back_to_io.kind(), std::io::ErrorKind::InvalidData);
+    }
+}

@@ -1,0 +1,800 @@
+//! The `ParallelGzipReader`: orchestration of speculative chunk
+//! decompression, marker resolution, index construction and random access.
+
+use std::collections::HashMap;
+use std::io::{Read, Seek, SeekFrom};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rgz_deflate::{contains_markers, replace_markers, resolve_window};
+use rgz_fetcher::{Cache, TaskHandle, ThreadPool};
+use rgz_index::{GzipIndex, SeekPoint, WINDOW_SIZE};
+use rgz_io::{FileReader, SharedFileReader};
+
+use crate::chunk::{decode_chunk_at, decode_speculative_chunk, SpeculativeChunk};
+use crate::{CoreError, DEFAULT_CHUNK_SIZE};
+
+/// Configuration of a [`ParallelGzipReader`].
+#[derive(Debug, Clone)]
+pub struct ParallelGzipReaderOptions {
+    /// Number of worker threads used for speculative chunk decompression and
+    /// marker replacement.  Defaults to the number of logical CPUs.
+    pub parallelization: usize,
+    /// Compressed chunk size in bytes (the paper's default is 4 MiB).
+    pub chunk_size: usize,
+    /// How many chunks ahead of the last access to prefetch.  Defaults to
+    /// twice the parallelization, matching the paper's prefetch cache sizing.
+    pub prefetch_degree: Option<usize>,
+    /// Capacity of the cache of resolved chunks kept for random access.
+    pub resolved_cache_chunks: usize,
+}
+
+impl Default for ParallelGzipReaderOptions {
+    fn default() -> Self {
+        Self {
+            parallelization: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            chunk_size: DEFAULT_CHUNK_SIZE,
+            prefetch_degree: None,
+            resolved_cache_chunks: 4,
+        }
+    }
+}
+
+impl ParallelGzipReaderOptions {
+    /// Convenience constructor fixing the degree of parallelism.
+    pub fn with_parallelization(parallelization: usize) -> Self {
+        Self {
+            parallelization: parallelization.max(1),
+            ..Default::default()
+        }
+    }
+
+    /// Sets the compressed chunk size.
+    pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
+        self.chunk_size = chunk_size.max(4 * 1024);
+        self
+    }
+
+    fn effective_prefetch_degree(&self) -> usize {
+        self.prefetch_degree
+            .unwrap_or(self.parallelization * 2)
+            .max(1)
+    }
+}
+
+/// Counters describing how the parallel reader behaved.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ReaderStatistics {
+    /// Chunks whose speculative result was used.
+    pub speculative_chunks_used: u64,
+    /// Chunks that had to be decoded on demand (cache miss or false
+    /// positive).
+    pub on_demand_chunks: u64,
+    /// Speculative results that did not match the required offset (block
+    /// finder false positives or boundary mismatches).
+    pub speculative_mismatches: u64,
+    /// Speculative prefetch tasks submitted to the pool.
+    pub prefetches_issued: u64,
+    /// Chunks decoded directly from the index fast path.
+    pub index_chunks: u64,
+}
+
+/// State of the sequential first pass.
+struct SequentialPass {
+    /// Exact bit offset where the next chunk starts.
+    next_start_bit: u64,
+    /// Uncompressed offset of the next chunk.
+    next_uncompressed_offset: u64,
+    /// Window (up to 32 KiB) preceding the next chunk.
+    window: Arc<Vec<u8>>,
+    /// Whether the whole file has been traversed.
+    finished: bool,
+}
+
+enum ChunkData {
+    Ready(Arc<Vec<u8>>),
+    Pending(TaskHandle<Result<Vec<u8>, CoreError>>),
+}
+
+struct ReaderState {
+    index: GzipIndex,
+    pass: SequentialPass,
+    /// Resolved (or resolving) chunk data keyed by compressed bit offset.
+    chunk_data: HashMap<u64, ChunkData>,
+    /// LRU cache of chunk data for random access after the first pass.
+    resolved_cache: Cache<u64, Vec<u8>>,
+    /// Finished speculative chunks keyed by their *found* bit offset.
+    speculative_ready: HashMap<u64, SpeculativeChunk>,
+    /// In-flight speculative tasks keyed by guess index.
+    speculative_pending: HashMap<usize, TaskHandle<Result<Option<SpeculativeChunk>, CoreError>>>,
+    /// Guess indexes that have already been dispatched (or completed).
+    speculative_issued: std::collections::HashSet<usize>,
+    statistics: ReaderStatistics,
+}
+
+/// Parallel decompression of and random access to a gzip file.
+///
+/// See the crate-level documentation for an overview of the architecture.
+pub struct ParallelGzipReader {
+    reader: SharedFileReader,
+    options: ParallelGzipReaderOptions,
+    pool: Arc<ThreadPool>,
+    state: Mutex<ReaderState>,
+    /// Current logical read position in the decompressed stream.
+    position: u64,
+}
+
+impl std::fmt::Debug for ParallelGzipReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParallelGzipReader")
+            .field("compressed_size", &self.reader.size())
+            .field("position", &self.position)
+            .finish()
+    }
+}
+
+impl ParallelGzipReader {
+    /// Creates a reader over any [`SharedFileReader`].
+    pub fn new(
+        reader: SharedFileReader,
+        options: ParallelGzipReaderOptions,
+    ) -> Result<Self, CoreError> {
+        let parallelization = options.parallelization.max(1);
+        let mut index = GzipIndex::new();
+        index.compressed_size = reader.size();
+        Ok(Self {
+            pool: Arc::new(ThreadPool::new(parallelization)),
+            state: Mutex::new(ReaderState {
+                index,
+                pass: SequentialPass {
+                    next_start_bit: 0,
+                    next_uncompressed_offset: 0,
+                    window: Arc::new(Vec::new()),
+                    finished: false,
+                },
+                chunk_data: HashMap::new(),
+                resolved_cache: Cache::new(options.resolved_cache_chunks.max(1)),
+                speculative_ready: HashMap::new(),
+                speculative_pending: HashMap::new(),
+                speculative_issued: std::collections::HashSet::new(),
+                statistics: ReaderStatistics::default(),
+            }),
+            reader,
+            options,
+            position: 0,
+        })
+    }
+
+    /// Creates a reader over an in-memory compressed buffer.
+    pub fn from_bytes(
+        data: impl Into<bytes::Bytes>,
+        options: ParallelGzipReaderOptions,
+    ) -> Result<Self, CoreError> {
+        Self::new(SharedFileReader::from_bytes(data.into()), options)
+    }
+
+    /// Opens a gzip file from a path.
+    pub fn open(
+        path: impl AsRef<std::path::Path>,
+        options: ParallelGzipReaderOptions,
+    ) -> Result<Self, CoreError> {
+        Ok(Self::new(SharedFileReader::open(path)?, options)?)
+    }
+
+    /// Creates a reader that uses an existing index, enabling the fast path
+    /// (direct decoding with stored windows, balanced work distribution,
+    /// constant-time seeks) from the start.
+    pub fn with_index(
+        reader: SharedFileReader,
+        options: ParallelGzipReaderOptions,
+        index: GzipIndex,
+    ) -> Result<Self, CoreError> {
+        let this = Self::new(reader, options)?;
+        {
+            let mut state = this.state.lock();
+            let uncompressed_size = index.uncompressed_size;
+            state.pass.finished = true;
+            state.pass.next_uncompressed_offset = uncompressed_size;
+            state.index = index;
+            if state.index.uncompressed_size == 0 {
+                state.index.uncompressed_size = state.index.block_map.uncompressed_size();
+                state.pass.next_uncompressed_offset = state.index.uncompressed_size;
+            }
+        }
+        Ok(this)
+    }
+
+    /// The options this reader was created with.
+    pub fn options(&self) -> &ParallelGzipReaderOptions {
+        &self.options
+    }
+
+    /// Behaviour counters.
+    pub fn statistics(&self) -> ReaderStatistics {
+        self.state.lock().statistics
+    }
+
+    /// Total decompressed size, if already known (i.e. after a full pass or
+    /// when an index was imported).
+    pub fn uncompressed_size(&self) -> Option<u64> {
+        let state = self.state.lock();
+        if state.pass.finished {
+            Some(state.index.block_map.uncompressed_size())
+        } else {
+            None
+        }
+    }
+
+    /// Returns a copy of the index built so far.  Call after reading the
+    /// whole stream (or [`ParallelGzipReader::build_full_index`]) to get a
+    /// complete index suitable for export.
+    pub fn index(&self) -> GzipIndex {
+        let mut state = self.state.lock();
+        let mut index = state.index.clone();
+        index.uncompressed_size = index.block_map.uncompressed_size();
+        state.index.uncompressed_size = index.uncompressed_size;
+        index
+    }
+
+    /// Runs the sequential pass to the end of the file (if not already done)
+    /// so that the index covers the whole stream, then returns it.
+    pub fn build_full_index(&mut self) -> Result<GzipIndex, CoreError> {
+        loop {
+            let finished = self.state.lock().pass.finished;
+            if finished {
+                break;
+            }
+            self.advance_one_chunk()?;
+        }
+        Ok(self.index())
+    }
+
+    /// Decompresses the whole stream into memory (convenience wrapper around
+    /// the `Read` implementation).
+    pub fn decompress_all(&mut self) -> Result<Vec<u8>, CoreError> {
+        let mut out = Vec::new();
+        self.seek(SeekFrom::Start(0)).map_err(CoreError::Io)?;
+        Read::read_to_end(self, &mut out).map_err(CoreError::Io)?;
+        Ok(out)
+    }
+
+    /// Decompresses the whole stream into a writer, returning the number of
+    /// bytes written.
+    pub fn decompress_to(&mut self, writer: &mut impl std::io::Write) -> Result<u64, CoreError> {
+        self.seek(SeekFrom::Start(0)).map_err(CoreError::Io)?;
+        let mut buffer = vec![0u8; 1 << 20];
+        let mut total = 0u64;
+        loop {
+            let read = Read::read(self, &mut buffer).map_err(CoreError::Io)?;
+            if read == 0 {
+                return Ok(total);
+            }
+            writer.write_all(&buffer[..read])?;
+            total += read as u64;
+        }
+    }
+
+    // --- sequential pass ------------------------------------------------
+
+    /// Advances the sequential pass by one chunk, extending the index.
+    fn advance_one_chunk(&self) -> Result<(), CoreError> {
+        let (start_bit, uncompressed_offset, window) = {
+            let state = self.state.lock();
+            if state.pass.finished {
+                return Ok(());
+            }
+            (
+                state.pass.next_start_bit,
+                state.pass.next_uncompressed_offset,
+                state.pass.window.clone(),
+            )
+        };
+
+        let chunk_bits = (self.options.chunk_size as u64) * 8;
+        let file_bits = self.reader.size() * 8;
+        if start_bit >= file_bits {
+            self.state.lock().pass.finished = true;
+            return Ok(());
+        }
+
+        // Keep the pool busy before doing this chunk's work.
+        self.issue_prefetches(start_bit);
+
+        // The stop offset is the next guessed chunk boundary after the start.
+        let guess_index = (start_bit / chunk_bits) as usize;
+        let stop_bit = ((guess_index as u64) + 1) * chunk_bits;
+
+        // Try to reuse a speculative result for this exact offset.
+        let speculative = self.take_speculative(start_bit, guess_index)?;
+
+        let (data_handle, end_bit, chunk_length, window_for_next, reached_end_of_file);
+        match speculative {
+            Some(chunk) if chunk.found_bit_offset == start_bit && start_bit != 0 => {
+                // Resolve the trailing window serially, then dispatch the full
+                // marker replacement to the pool (§2.2: only the window
+                // propagation is inherently sequential).
+                let next_window = if contains_markers(&chunk.symbols) {
+                    resolve_window(&chunk.symbols, &window).map_err(CoreError::Deflate)?
+                } else {
+                    let resolved_tail: Vec<u8> = chunk
+                        .symbols
+                        .iter()
+                        .skip(chunk.symbols.len().saturating_sub(WINDOW_SIZE))
+                        .map(|&s| s as u8)
+                        .collect();
+                    let mut combined = Vec::with_capacity(WINDOW_SIZE);
+                    if resolved_tail.len() < WINDOW_SIZE {
+                        let need = WINDOW_SIZE - resolved_tail.len();
+                        let take = need.min(window.len());
+                        combined.extend_from_slice(&window[window.len() - take..]);
+                    }
+                    combined.extend_from_slice(&resolved_tail);
+                    combined
+                };
+                end_bit = chunk.end_bit_offset;
+                chunk_length = chunk.symbols.len() as u64;
+                reached_end_of_file = chunk.reached_end_of_file;
+                window_for_next = Arc::new(next_window);
+                let window_clone = window.clone();
+                let symbols = chunk.symbols;
+                let handle = self.pool.submit(move || {
+                    replace_markers(&symbols, &window_clone).map_err(CoreError::Deflate)
+                });
+                data_handle = ChunkData::Pending(handle);
+                self.state.lock().statistics.speculative_chunks_used += 1;
+            }
+            other => {
+                if other.is_some() {
+                    self.state.lock().statistics.speculative_mismatches += 1;
+                }
+                // Decode on demand with the known window (first chunk, false
+                // positive, or no speculative result available).
+                let result = decode_chunk_at(
+                    &self.reader,
+                    start_bit,
+                    stop_bit,
+                    &window,
+                    start_bit == 0,
+                    self.options.chunk_size,
+                )?;
+                end_bit = result.end_bit_offset;
+                chunk_length = result.data.len() as u64;
+                reached_end_of_file = result.reached_end_of_file;
+                let tail_start = result.data.len().saturating_sub(WINDOW_SIZE);
+                let mut next_window: Vec<u8> = Vec::with_capacity(WINDOW_SIZE);
+                if result.data.len() < WINDOW_SIZE {
+                    let need = WINDOW_SIZE - result.data.len();
+                    let take = need.min(window.len());
+                    next_window.extend_from_slice(&window[window.len() - take..]);
+                }
+                next_window.extend_from_slice(&result.data[tail_start..]);
+                window_for_next = Arc::new(next_window);
+                data_handle = ChunkData::Ready(Arc::new(result.data));
+                self.state.lock().statistics.on_demand_chunks += 1;
+            }
+        }
+
+        let mut state = self.state.lock();
+        state.index.add_seek_point(
+            SeekPoint {
+                compressed_bit_offset: start_bit,
+                uncompressed_offset,
+                uncompressed_size: chunk_length,
+            },
+            &window,
+        );
+        state.chunk_data.insert(start_bit, data_handle);
+        state.pass.next_start_bit = end_bit;
+        state.pass.next_uncompressed_offset = uncompressed_offset + chunk_length;
+        state.pass.window = window_for_next;
+        if reached_end_of_file || end_bit >= file_bits {
+            state.pass.finished = true;
+            state.index.uncompressed_size = state.index.block_map.uncompressed_size();
+        }
+        // Drop stale speculative results that can never match again.
+        let next_start = state.pass.next_start_bit;
+        state.speculative_ready.retain(|&found, _| found >= next_start);
+        Ok(())
+    }
+
+    /// Looks for a finished speculative chunk starting exactly at `start_bit`;
+    /// waits for the in-flight task covering that guess index if necessary.
+    fn take_speculative(
+        &self,
+        start_bit: u64,
+        guess_index: usize,
+    ) -> Result<Option<SpeculativeChunk>, CoreError> {
+        loop {
+            // Harvest all finished speculative tasks.
+            let handle_to_wait;
+            {
+                let mut state = self.state.lock();
+                let finished: Vec<usize> = state
+                    .speculative_pending
+                    .iter()
+                    .filter(|(_, handle)| handle.is_finished())
+                    .map(|(&index, _)| index)
+                    .collect();
+                for index in finished {
+                    if let Some(handle) = state.speculative_pending.remove(&index) {
+                        if let Some(Ok(Ok(Some(chunk)))) = handle.try_wait() {
+                            state
+                                .speculative_ready
+                                .insert(chunk.found_bit_offset, chunk);
+                        }
+                    }
+                }
+                if let Some(chunk) = state.speculative_ready.remove(&start_bit) {
+                    return Ok(Some(chunk));
+                }
+                // If the task responsible for this offset is still running,
+                // wait for it specifically (the paper's "periodically check
+                // for ready chunks until C1 has become ready").
+                handle_to_wait = state.speculative_pending.remove(&guess_index);
+            }
+            match handle_to_wait {
+                Some(handle) => {
+                    let result = handle.wait();
+                    let mut state = self.state.lock();
+                    if let Ok(Some(chunk)) = result {
+                        state.speculative_ready.insert(chunk.found_bit_offset, chunk);
+                    }
+                    if let Some(chunk) = state.speculative_ready.remove(&start_bit) {
+                        return Ok(Some(chunk));
+                    }
+                    return Ok(None);
+                }
+                None => return Ok(None),
+            }
+        }
+    }
+
+    /// Submits speculative decompression tasks for the chunks following
+    /// `start_bit`, up to the prefetch degree.
+    fn issue_prefetches(&self, start_bit: u64) {
+        let chunk_bits = (self.options.chunk_size as u64) * 8;
+        let total_chunks = (self.reader.size() as usize).div_ceil(self.options.chunk_size);
+        let current_guess = (start_bit / chunk_bits) as usize;
+        let degree = self.options.effective_prefetch_degree();
+
+        let mut state = self.state.lock();
+        for guess in (current_guess + 1)..=(current_guess + degree) {
+            if guess >= total_chunks
+                || state.speculative_issued.contains(&guess)
+                || state.speculative_pending.len() >= degree
+            {
+                continue;
+            }
+            state.speculative_issued.insert(guess);
+            state.statistics.prefetches_issued += 1;
+            let reader = self.reader.clone();
+            let chunk_size = self.options.chunk_size;
+            let handle = self
+                .pool
+                .submit(move || decode_speculative_chunk(&reader, chunk_size, guess));
+            state.speculative_pending.insert(guess, handle);
+        }
+    }
+
+    // --- serving reads ----------------------------------------------------
+
+    /// Returns the resolved data of the chunk described by `point`.
+    fn chunk_bytes(&self, point: &SeekPoint) -> Result<Arc<Vec<u8>>, CoreError> {
+        let key = point.compressed_bit_offset;
+        // Data produced (or being produced) by the sequential pass.
+        {
+            let mut state = self.state.lock();
+            if let Some(cached) = state.resolved_cache.get(&key) {
+                return Ok(cached);
+            }
+            match state.chunk_data.remove(&key) {
+                Some(ChunkData::Ready(data)) => {
+                    state.resolved_cache.insert(key, data.clone());
+                    return Ok(data);
+                }
+                Some(ChunkData::Pending(handle)) => {
+                    drop(state);
+                    let data = Arc::new(handle.wait()?);
+                    let mut state = self.state.lock();
+                    state.resolved_cache.insert(key, data.clone());
+                    return Ok(data);
+                }
+                None => {}
+            }
+        }
+
+        // Random access / index fast path: decode on demand with the stored
+        // window.
+        let window = {
+            let state = self.state.lock();
+            state.index.window_map.get(key).unwrap_or_default()
+        };
+        let stop_bit = {
+            let state = self.state.lock();
+            state
+                .index
+                .block_map
+                .points()
+                .iter()
+                .find(|p| p.compressed_bit_offset > key)
+                .map(|p| p.compressed_bit_offset)
+                .unwrap_or(u64::MAX)
+        };
+        let result = decode_chunk_at(
+            &self.reader,
+            key,
+            stop_bit,
+            &window,
+            key == 0,
+            self.options.chunk_size,
+        )?;
+        if result.data.len() as u64 != point.uncompressed_size {
+            return Err(CoreError::IndexMismatch {
+                compressed_bit_offset: key,
+            });
+        }
+        let data = Arc::new(result.data);
+        let mut state = self.state.lock();
+        state.statistics.index_chunks += 1;
+        state.resolved_cache.insert(key, data.clone());
+        Ok(data)
+    }
+
+    /// Serves as many bytes as possible from the chunk covering `position`.
+    fn read_at_position(&mut self, buffer: &mut [u8]) -> Result<usize, CoreError> {
+        loop {
+            let covering_point = {
+                let state = self.state.lock();
+                state.index.block_map.find(self.position).cloned()
+            };
+            if let Some(point) = covering_point {
+                let end = point.uncompressed_offset + point.uncompressed_size;
+                if self.position < end {
+                    let data = self.chunk_bytes(&point)?;
+                    let chunk_offset = (self.position - point.uncompressed_offset) as usize;
+                    let available = data.len() - chunk_offset;
+                    let count = available.min(buffer.len());
+                    buffer[..count].copy_from_slice(&data[chunk_offset..chunk_offset + count]);
+                    self.position += count as u64;
+                    return Ok(count);
+                }
+            }
+            // The index does not (yet) cover the position.
+            let finished = self.state.lock().pass.finished;
+            if finished {
+                return Ok(0); // end of stream
+            }
+            self.advance_one_chunk()?;
+        }
+    }
+}
+
+impl Read for ParallelGzipReader {
+    fn read(&mut self, buffer: &mut [u8]) -> std::io::Result<usize> {
+        if buffer.is_empty() {
+            return Ok(0);
+        }
+        self.read_at_position(buffer).map_err(std::io::Error::from)
+    }
+}
+
+impl Seek for ParallelGzipReader {
+    fn seek(&mut self, target: SeekFrom) -> std::io::Result<u64> {
+        let new_position: i128 = match target {
+            SeekFrom::Start(offset) => offset as i128,
+            SeekFrom::Current(delta) => self.position as i128 + delta as i128,
+            SeekFrom::End(delta) => {
+                // Seeking from the end requires knowing the total size, which
+                // may require finishing the sequential pass.
+                loop {
+                    let finished = self.state.lock().pass.finished;
+                    if finished {
+                        break;
+                    }
+                    self.advance_one_chunk().map_err(std::io::Error::from)?;
+                }
+                let size = self.state.lock().index.block_map.uncompressed_size();
+                size as i128 + delta as i128
+            }
+        };
+        if new_position < 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "seek before the start of the stream",
+            ));
+        }
+        // A seek only updates the position; all work happens on the next read
+        // (§3.1).
+        self.position = new_position as u64;
+        Ok(self.position)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rgz_datagen::{base64_random, fastq_records, silesia_like};
+    use rgz_gzip::{decompress, CompressorFrontend, FrontendKind, GzipWriter};
+
+    fn options(parallelization: usize, chunk_size: usize) -> ParallelGzipReaderOptions {
+        ParallelGzipReaderOptions {
+            parallelization,
+            chunk_size,
+            prefetch_degree: None,
+            resolved_cache_chunks: 4,
+        }
+    }
+
+    fn parallel_roundtrip(compressed: &[u8], chunk_size: usize) -> Vec<u8> {
+        let mut reader = ParallelGzipReader::from_bytes(
+            compressed.to_vec(),
+            options(4, chunk_size),
+        )
+        .unwrap();
+        reader.decompress_all().unwrap()
+    }
+
+    #[test]
+    fn matches_serial_decoder_on_base64_data() {
+        let data = base64_random(3 * 1024 * 1024, 1);
+        let compressed = GzipWriter::default().compress(&data);
+        let restored = parallel_roundtrip(&compressed, 128 * 1024);
+        assert_eq!(restored, decompress(&compressed).unwrap());
+        assert_eq!(restored, data);
+    }
+
+    #[test]
+    fn matches_serial_decoder_on_marker_heavy_data() {
+        let data = silesia_like(3 * 1024 * 1024, 2);
+        let compressed = GzipWriter::default().compress(&data);
+        let restored = parallel_roundtrip(&compressed, 128 * 1024);
+        assert_eq!(restored, data);
+    }
+
+    #[test]
+    fn speculative_results_are_actually_used() {
+        let data = fastq_records(20_000, 3);
+        let compressed = GzipWriter::default().compress(&data);
+        let mut reader =
+            ParallelGzipReader::from_bytes(compressed, options(4, 64 * 1024)).unwrap();
+        let restored = reader.decompress_all().unwrap();
+        assert_eq!(restored, data);
+        let statistics = reader.statistics();
+        assert!(
+            statistics.speculative_chunks_used > 0,
+            "parallel pipeline unused: {statistics:?}"
+        );
+        assert!(statistics.prefetches_issued > 0);
+    }
+
+    #[test]
+    fn multi_member_and_pigz_style_files_decode() {
+        let part_a = base64_random(600_000, 10);
+        let part_b = silesia_like(700_000, 11);
+        let writer = GzipWriter::default();
+        let multi = writer.compress_members(&[&part_a, &part_b]);
+        let mut expected = part_a.clone();
+        expected.extend_from_slice(&part_b);
+        assert_eq!(parallel_roundtrip(&multi, 64 * 1024), expected);
+
+        let pigz = writer.compress_pigz_like(&expected, 128 * 1024);
+        assert_eq!(parallel_roundtrip(&pigz, 64 * 1024), expected);
+
+        let bgzf = CompressorFrontend::new(FrontendKind::Bgzf, 6).compress(&expected);
+        assert_eq!(parallel_roundtrip(&bgzf, 64 * 1024), expected);
+    }
+
+    #[test]
+    fn single_block_files_fall_back_to_sequential_decoding() {
+        let data = silesia_like(1_200_000, 4);
+        let compressed = CompressorFrontend::new(FrontendKind::Igzip, 0).compress(&data);
+        let restored = parallel_roundtrip(&compressed, 64 * 1024);
+        assert_eq!(restored, data);
+    }
+
+    #[test]
+    fn stored_only_files_decode_in_parallel() {
+        let data = base64_random(2_000_000, 5);
+        let compressed = CompressorFrontend::new(FrontendKind::Bgzf, 0).compress(&data);
+        assert_eq!(parallel_roundtrip(&compressed, 64 * 1024), data);
+    }
+
+    #[test]
+    fn seeking_and_partial_reads() {
+        let data = silesia_like(2_500_000, 6);
+        let compressed = GzipWriter::default().compress(&data);
+        let mut reader =
+            ParallelGzipReader::from_bytes(compressed, options(4, 128 * 1024)).unwrap();
+
+        let mut buffer = vec![0u8; 10_000];
+        reader.seek(SeekFrom::Start(1_234_567)).unwrap();
+        reader.read_exact(&mut buffer).unwrap();
+        assert_eq!(&buffer[..], &data[1_234_567..1_244_567]);
+
+        reader.seek(SeekFrom::Start(17)).unwrap();
+        reader.read_exact(&mut buffer[..100]).unwrap();
+        assert_eq!(&buffer[..100], &data[17..117]);
+
+        let end_position = reader.seek(SeekFrom::End(-50)).unwrap();
+        assert_eq!(end_position, data.len() as u64 - 50);
+        let mut tail = Vec::new();
+        reader.read_to_end(&mut tail).unwrap();
+        assert_eq!(&tail[..], &data[data.len() - 50..]);
+
+        // Seeking past the end yields EOF on read.
+        reader.seek(SeekFrom::Start(data.len() as u64 + 10)).unwrap();
+        assert_eq!(reader.read(&mut buffer).unwrap(), 0);
+    }
+
+    #[test]
+    fn index_export_import_enables_fast_path() {
+        let data = fastq_records(15_000, 7);
+        let compressed = GzipWriter::default().compress(&data);
+        let mut first_pass =
+            ParallelGzipReader::from_bytes(compressed.clone(), options(4, 64 * 1024)).unwrap();
+        let index = first_pass.build_full_index().unwrap();
+        assert!(index.block_map.len() > 1, "expected multiple seek points");
+        assert_eq!(index.uncompressed_size, data.len() as u64);
+
+        let serialized = index.export();
+        let imported = GzipIndex::import(&serialized).unwrap();
+        let mut second_pass = ParallelGzipReader::with_index(
+            SharedFileReader::from_bytes(compressed),
+            options(4, 64 * 1024),
+            imported,
+        )
+        .unwrap();
+        assert_eq!(second_pass.uncompressed_size(), Some(data.len() as u64));
+        let restored = second_pass.decompress_all().unwrap();
+        assert_eq!(restored, data);
+        assert!(second_pass.statistics().index_chunks > 0);
+
+        // Random access through the imported index.
+        let mut buffer = vec![0u8; 4096];
+        second_pass.seek(SeekFrom::Start(1_000_000)).unwrap();
+        second_pass.read_exact(&mut buffer).unwrap();
+        assert_eq!(&buffer[..], &data[1_000_000..1_004_096]);
+    }
+
+    #[test]
+    fn corrupted_input_never_yields_the_original_data_silently() {
+        // The parallel reader does not verify member CRCs (the paper lists
+        // checksum computation as future work), so corruption must either
+        // surface as an error or as data that differs from the original —
+        // never as a silent, seemingly correct result, and never as a panic
+        // or hang.
+        let data = base64_random(500_000, 9);
+        let pristine = GzipWriter::default().compress(&data);
+        for flip_at in [pristine.len() / 3, pristine.len() / 2, 2 * pristine.len() / 3] {
+            let mut compressed = pristine.clone();
+            compressed[flip_at] ^= 0xFF;
+            let mut reader =
+                ParallelGzipReader::from_bytes(compressed, options(2, 32 * 1024)).unwrap();
+            match reader.decompress_all() {
+                Err(_) => {}
+                Ok(restored) => assert_ne!(restored, data, "corruption at byte {flip_at} vanished"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_input_reports_an_error() {
+        let data = base64_random(500_000, 12);
+        let compressed = GzipWriter::default().compress(&data);
+        let truncated = compressed[..compressed.len() / 2].to_vec();
+        let mut reader = ParallelGzipReader::from_bytes(truncated, options(2, 32 * 1024)).unwrap();
+        assert!(reader.decompress_all().is_err());
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let compressed = GzipWriter::default().compress(b"");
+        let mut reader =
+            ParallelGzipReader::from_bytes(compressed, ParallelGzipReaderOptions::default())
+                .unwrap();
+        assert_eq!(reader.decompress_all().unwrap(), Vec::<u8>::new());
+        assert_eq!(reader.uncompressed_size(), Some(0));
+    }
+}

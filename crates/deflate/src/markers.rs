@@ -1,0 +1,184 @@
+//! Marker replacement — the second stage of two-stage decompression.
+
+use crate::constants::WINDOW_SIZE;
+use crate::inflate::MARKER_BASE;
+use crate::DeflateError;
+
+/// Returns `true` if any symbol in `symbols` is a marker that still needs a
+/// window to be resolved.
+#[inline]
+pub fn contains_markers(symbols: &[u16]) -> bool {
+    symbols.iter().any(|&s| s >= MARKER_BASE)
+}
+
+/// Replaces marker symbols with bytes from `window` and returns the resolved
+/// bytes.
+///
+/// `window` is the decompressed data immediately preceding the chunk these
+/// symbols were decoded from; it may be shorter than 32 KiB (e.g. near the
+/// beginning of a stream), in which case markers that reach further back than
+/// the window are an error (they indicate the chunk was decoded from a false
+/// positive).
+pub fn replace_markers(symbols: &[u16], window: &[u8]) -> Result<Vec<u8>, DeflateError> {
+    let mut out = Vec::with_capacity(symbols.len());
+    replace_markers_into(symbols, window, &mut out)?;
+    Ok(out)
+}
+
+/// [`replace_markers`] variant appending into an existing buffer; this is the
+/// routine whose bandwidth Table 2 reports as "Marker replacement".
+pub fn replace_markers_into(
+    symbols: &[u16],
+    window: &[u8],
+    out: &mut Vec<u8>,
+) -> Result<(), DeflateError> {
+    out.reserve(symbols.len());
+    let window_base = WINDOW_SIZE - window.len();
+    for &symbol in symbols {
+        if symbol < 256 {
+            out.push(symbol as u8);
+        } else if symbol >= MARKER_BASE {
+            let offset = (symbol - MARKER_BASE) as usize;
+            if offset < window_base {
+                return Err(DeflateError::MarkerOutsideWindow {
+                    offset,
+                    window_length: window.len(),
+                });
+            }
+            out.push(window[offset - window_base]);
+        } else {
+            return Err(DeflateError::InvalidMarkerSymbol(symbol));
+        }
+    }
+    Ok(())
+}
+
+/// Resolves only the markers contained in the final `WINDOW_SIZE` symbols of
+/// `symbols`, returning the 32 KiB (or shorter) byte window that a *following*
+/// chunk needs.
+///
+/// This is the cheap, inherently sequential part of window propagation the
+/// paper discusses in §2.2: only the last 32 KiB of each chunk has to be
+/// resolved before the next chunk can be finalized, while full-chunk
+/// replacement runs in parallel.
+pub fn resolve_window(symbols: &[u16], window: &[u8]) -> Result<Vec<u8>, DeflateError> {
+    if symbols.len() >= WINDOW_SIZE {
+        let tail = &symbols[symbols.len() - WINDOW_SIZE..];
+        replace_markers(tail, window)
+    } else {
+        // The chunk is shorter than a window: the following chunk's window is
+        // the tail of (previous window + this chunk's data).
+        let resolved = replace_markers(symbols, window)?;
+        let mut combined = Vec::with_capacity(WINDOW_SIZE);
+        let needed_from_window = WINDOW_SIZE.saturating_sub(resolved.len());
+        let take = needed_from_window.min(window.len());
+        combined.extend_from_slice(&window[window.len() - take..]);
+        combined.extend_from_slice(&resolved);
+        if combined.len() > WINDOW_SIZE {
+            let excess = combined.len() - WINDOW_SIZE;
+            combined.drain(..excess);
+        }
+        Ok(combined)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn literals_pass_through() {
+        let symbols: Vec<u16> = b"hello world".iter().map(|&b| b as u16).collect();
+        assert!(!contains_markers(&symbols));
+        assert_eq!(replace_markers(&symbols, &[]).unwrap(), b"hello world");
+    }
+
+    #[test]
+    fn markers_resolve_against_full_window() {
+        let window: Vec<u8> = (0..WINDOW_SIZE).map(|i| (i % 256) as u8).collect();
+        let symbols = vec![
+            MARKER_BASE,                       // oldest window byte
+            MARKER_BASE + 1,
+            MARKER_BASE + (WINDOW_SIZE as u16 - 1), // newest window byte
+            b'x' as u16,
+        ];
+        let resolved = replace_markers(&symbols, &window).unwrap();
+        assert_eq!(
+            resolved,
+            vec![window[0], window[1], window[WINDOW_SIZE - 1], b'x']
+        );
+    }
+
+    #[test]
+    fn markers_resolve_against_short_window() {
+        // A 100-byte window occupies the *last* 100 slots of the 32 KiB
+        // marker space.
+        let window: Vec<u8> = (0..100u8).collect();
+        let newest = MARKER_BASE + (WINDOW_SIZE - 1) as u16;
+        let oldest_valid = MARKER_BASE + (WINDOW_SIZE - 100) as u16;
+        assert_eq!(replace_markers(&[newest], &window).unwrap(), vec![99]);
+        assert_eq!(replace_markers(&[oldest_valid], &window).unwrap(), vec![0]);
+        assert!(matches!(
+            replace_markers(&[oldest_valid - 1], &window),
+            Err(DeflateError::MarkerOutsideWindow { .. })
+        ));
+    }
+
+    #[test]
+    fn symbols_between_256_and_marker_base_are_invalid() {
+        assert!(matches!(
+            replace_markers(&[300], &[]),
+            Err(DeflateError::InvalidMarkerSymbol(300))
+        ));
+    }
+
+    #[test]
+    fn resolve_window_of_long_chunk_uses_only_the_tail() {
+        let window = vec![0xAAu8; WINDOW_SIZE];
+        // Chunk longer than a window made of literals 0,1,2,...
+        let symbols: Vec<u16> = (0..(WINDOW_SIZE + 1000)).map(|i| (i % 256) as u16).collect();
+        let next_window = resolve_window(&symbols, &window).unwrap();
+        assert_eq!(next_window.len(), WINDOW_SIZE);
+        let expected: Vec<u8> = (1000..WINDOW_SIZE + 1000).map(|i| (i % 256) as u8).collect();
+        assert_eq!(next_window, expected);
+    }
+
+    #[test]
+    fn resolve_window_of_short_chunk_prepends_previous_window() {
+        let window: Vec<u8> = (0..WINDOW_SIZE).map(|i| (i % 251) as u8).collect();
+        let symbols: Vec<u16> = (0..10u16).collect();
+        let next_window = resolve_window(&symbols, &window).unwrap();
+        assert_eq!(next_window.len(), WINDOW_SIZE);
+        assert_eq!(&next_window[WINDOW_SIZE - 10..], &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(&next_window[..WINDOW_SIZE - 10], &window[10..]);
+    }
+
+    proptest! {
+        #[test]
+        fn replacement_is_equivalent_to_naive_loop(
+            window in proptest::collection::vec(any::<u8>(), 0..WINDOW_SIZE),
+            symbols in proptest::collection::vec(0u16..256, 0..500),
+            marker_positions in proptest::collection::vec((0usize..500, 0u16..1000), 0..50),
+        ) {
+            let mut symbols = symbols;
+            // Sprinkle in markers that stay within the provided window.
+            if !window.is_empty() && !symbols.is_empty() {
+                for (position, offset) in marker_positions {
+                    let position = position % symbols.len();
+                    let offset = (WINDOW_SIZE - 1 - (offset as usize % window.len())) as u16;
+                    symbols[position] = MARKER_BASE + offset;
+                }
+            }
+            let resolved = replace_markers(&symbols, &window).unwrap();
+            for (i, &symbol) in symbols.iter().enumerate() {
+                if symbol < 256 {
+                    prop_assert_eq!(resolved[i], symbol as u8);
+                } else {
+                    let offset = (symbol - MARKER_BASE) as usize;
+                    prop_assert_eq!(resolved[i], window[offset - (WINDOW_SIZE - window.len())]);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! A keyed cache with pluggable eviction strategy (the `Cache`,
+//! `CacheStrategy` and `LeastRecentlyUsed` classes of Figure 5).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::Arc;
+
+/// Eviction policy interface: informed about touches and insertions, asked
+/// which key to evict when the cache is full.
+pub trait CacheStrategy<K>: Send {
+    /// A key was accessed.
+    fn touch(&mut self, key: &K);
+    /// A key was inserted.
+    fn insert(&mut self, key: K);
+    /// A key was removed externally.
+    fn remove(&mut self, key: &K);
+    /// Chooses the key to evict.
+    fn evict(&mut self) -> Option<K>;
+}
+
+/// Least-recently-used eviction.
+#[derive(Debug)]
+pub struct LeastRecentlyUsed<K> {
+    /// Keys ordered from least to most recently used.
+    order: Vec<K>,
+}
+
+impl<K> Default for LeastRecentlyUsed<K> {
+    fn default() -> Self {
+        Self { order: Vec::new() }
+    }
+}
+
+impl<K: Eq + Clone> CacheStrategy<K> for LeastRecentlyUsed<K>
+where
+    K: Send,
+{
+    fn touch(&mut self, key: &K) {
+        if let Some(position) = self.order.iter().position(|k| k == key) {
+            let key = self.order.remove(position);
+            self.order.push(key);
+        }
+    }
+
+    fn insert(&mut self, key: K) {
+        if let Some(position) = self.order.iter().position(|k| *k == key) {
+            self.order.remove(position);
+        }
+        self.order.push(key);
+    }
+
+    fn remove(&mut self, key: &K) {
+        if let Some(position) = self.order.iter().position(|k| k == key) {
+            self.order.remove(position);
+        }
+    }
+
+    fn evict(&mut self) -> Option<K> {
+        if self.order.is_empty() {
+            None
+        } else {
+            Some(self.order.remove(0))
+        }
+    }
+}
+
+/// Hit/miss counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStatistics {
+    /// Number of `get` calls that found the key.
+    pub hits: u64,
+    /// Number of `get` calls that missed.
+    pub misses: u64,
+    /// Number of evictions performed.
+    pub evictions: u64,
+}
+
+/// A bounded cache holding `Arc<V>` values.
+pub struct Cache<K, V, S = LeastRecentlyUsed<K>> {
+    capacity: usize,
+    entries: HashMap<K, Arc<V>>,
+    strategy: S,
+    statistics: CacheStatistics,
+}
+
+impl<K: std::fmt::Debug, V, S> std::fmt::Debug for Cache<K, V, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cache")
+            .field("capacity", &self.capacity)
+            .field("len", &self.entries.len())
+            .field("statistics", &self.statistics)
+            .finish()
+    }
+}
+
+impl<K, V> Cache<K, V, LeastRecentlyUsed<K>>
+where
+    K: Eq + Hash + Clone + Send,
+{
+    /// Creates an LRU cache with the given capacity (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        Self::with_strategy(capacity, LeastRecentlyUsed::default())
+    }
+}
+
+impl<K, V, S> Cache<K, V, S>
+where
+    K: Eq + Hash + Clone + Send,
+    S: CacheStrategy<K>,
+{
+    /// Creates a cache with an explicit eviction strategy.
+    pub fn with_strategy(capacity: usize, strategy: S) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            entries: HashMap::new(),
+            strategy,
+            statistics: CacheStatistics::default(),
+        }
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hit/miss statistics.
+    pub fn statistics(&self) -> CacheStatistics {
+        self.statistics
+    }
+
+    /// Looks up a key, marking it as recently used.
+    pub fn get(&mut self, key: &K) -> Option<Arc<V>> {
+        match self.entries.get(key) {
+            Some(value) => {
+                self.statistics.hits += 1;
+                self.strategy.touch(key);
+                Some(value.clone())
+            }
+            None => {
+                self.statistics.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Looks up a key without affecting eviction order or statistics.
+    pub fn peek(&self, key: &K) -> Option<Arc<V>> {
+        self.entries.get(key).cloned()
+    }
+
+    /// Whether a key is present (does not affect statistics).
+    pub fn contains(&self, key: &K) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Inserts a value, evicting as necessary.
+    pub fn insert(&mut self, key: K, value: Arc<V>) {
+        if self.entries.contains_key(&key) {
+            self.entries.insert(key.clone(), value);
+            self.strategy.touch(&key);
+            return;
+        }
+        while self.entries.len() >= self.capacity {
+            match self.strategy.evict() {
+                Some(evicted) => {
+                    self.entries.remove(&evicted);
+                    self.statistics.evictions += 1;
+                }
+                None => break,
+            }
+        }
+        self.strategy.insert(key.clone());
+        self.entries.insert(key, value);
+    }
+
+    /// Removes a key.
+    pub fn remove(&mut self, key: &K) -> Option<Arc<V>> {
+        self.strategy.remove(key);
+        self.entries.remove(key)
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        let keys: Vec<K> = self.entries.keys().cloned().collect();
+        for key in &keys {
+            self.strategy.remove(key);
+        }
+        self.entries.clear();
+    }
+
+    /// Iterates over the currently cached keys (in arbitrary order).
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.entries.keys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_insert_get_and_capacity() {
+        let mut cache: Cache<u64, String> = Cache::new(2);
+        cache.insert(1, Arc::new("one".into()));
+        cache.insert(2, Arc::new("two".into()));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&1).as_deref().map(String::as_str), Some("one"));
+        cache.insert(3, Arc::new("three".into()));
+        assert_eq!(cache.len(), 2);
+        // 2 was the least recently used (1 was touched by the get).
+        assert!(cache.contains(&1));
+        assert!(!cache.contains(&2));
+        assert!(cache.contains(&3));
+        assert_eq!(cache.statistics().evictions, 1);
+    }
+
+    #[test]
+    fn lru_order_follows_touches() {
+        let mut cache: Cache<u32, u32> = Cache::new(3);
+        for i in 0..3 {
+            cache.insert(i, Arc::new(i));
+        }
+        cache.get(&0);
+        cache.get(&1);
+        cache.insert(3, Arc::new(3)); // evicts 2
+        assert!(!cache.contains(&2));
+        cache.insert(4, Arc::new(4)); // evicts 0
+        assert!(!cache.contains(&0));
+        assert!(cache.contains(&1) && cache.contains(&3) && cache.contains(&4));
+    }
+
+    #[test]
+    fn reinserting_updates_value_without_eviction() {
+        let mut cache: Cache<u32, u32> = Cache::new(2);
+        cache.insert(1, Arc::new(10));
+        cache.insert(2, Arc::new(20));
+        cache.insert(1, Arc::new(11));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(*cache.get(&1).unwrap(), 11);
+        assert_eq!(cache.statistics().evictions, 0);
+    }
+
+    #[test]
+    fn statistics_count_hits_and_misses() {
+        let mut cache: Cache<u32, u32> = Cache::new(4);
+        cache.insert(1, Arc::new(1));
+        cache.get(&1);
+        cache.get(&2);
+        cache.get(&1);
+        let statistics = cache.statistics();
+        assert_eq!(statistics.hits, 2);
+        assert_eq!(statistics.misses, 1);
+        // peek affects neither.
+        cache.peek(&2);
+        assert_eq!(cache.statistics(), statistics);
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut cache: Cache<u32, u32> = Cache::new(4);
+        for i in 0..4 {
+            cache.insert(i, Arc::new(i));
+        }
+        assert_eq!(cache.remove(&2).map(|v| *v), Some(2));
+        assert_eq!(cache.remove(&2), None);
+        cache.clear();
+        assert!(cache.is_empty());
+        // The strategy state must be consistent: inserting after clear works.
+        for i in 10..20 {
+            cache.insert(i, Arc::new(i));
+        }
+        assert_eq!(cache.len(), 4);
+    }
+
+    #[test]
+    fn capacity_of_zero_is_clamped_to_one() {
+        let mut cache: Cache<u32, u32> = Cache::new(0);
+        cache.insert(1, Arc::new(1));
+        cache.insert(2, Arc::new(2));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.contains(&2));
+    }
+}

@@ -1,0 +1,324 @@
+//! The generic chunk fetcher: cache + prefetch cache + thread pool +
+//! prefetching strategy (the `ChunkFetcher` class of Figure 5).
+//!
+//! Chunks are identified by a dense index (0, 1, 2, …).  Accessing a chunk
+//! returns it from one of the two caches or computes it synchronously on the
+//! pool; every access also asks the [`FetchingStrategy`] which chunks to
+//! prefetch and dispatches those computations in the background, keeping
+//! their results in a *separate* prefetch cache so speculative work cannot
+//! evict explicitly accessed data (§3.2).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::cache::Cache;
+use crate::strategy::FetchingStrategy;
+use crate::thread_pool::{TaskHandle, ThreadPool};
+
+/// Configuration of a [`ChunkFetcher`].
+#[derive(Debug, Clone)]
+pub struct ChunkFetcherConfig {
+    /// Number of worker threads.
+    pub parallelization: usize,
+    /// Capacity of the cache for explicitly accessed chunks.  The paper uses
+    /// 1 for plain sequential decompression.
+    pub access_cache_size: usize,
+    /// Capacity of the prefetch cache; defaults to twice the parallelization.
+    pub prefetch_cache_size: Option<usize>,
+}
+
+impl Default for ChunkFetcherConfig {
+    fn default() -> Self {
+        Self {
+            parallelization: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            access_cache_size: 1,
+            prefetch_cache_size: None,
+        }
+    }
+}
+
+/// Counters describing fetcher behaviour.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FetchStatistics {
+    /// Total number of `get` calls.
+    pub accesses: u64,
+    /// Accesses satisfied from the access cache.
+    pub access_cache_hits: u64,
+    /// Accesses satisfied from the prefetch cache or an in-flight prefetch.
+    pub prefetch_hits: u64,
+    /// Accesses that had to compute the chunk on demand.
+    pub on_demand: u64,
+    /// Prefetch tasks dispatched.
+    pub prefetches_issued: u64,
+}
+
+struct FetcherState<T, E> {
+    access_cache: Cache<usize, T>,
+    prefetch_cache: Cache<usize, T>,
+    in_flight: HashMap<usize, TaskHandle<Result<T, E>>>,
+    statistics: FetchStatistics,
+}
+
+/// Generic cache-and-prefetch chunk fetcher.
+pub struct ChunkFetcher<T, E, F>
+where
+    F: Fn(usize) -> Result<T, E> + Send + Sync + 'static,
+{
+    pool: ThreadPool,
+    strategy: Arc<dyn FetchingStrategy>,
+    fetch: Arc<F>,
+    state: Mutex<FetcherState<T, E>>,
+    prefetch_degree: usize,
+}
+
+impl<T, E, F> ChunkFetcher<T, E, F>
+where
+    T: Send + Sync + 'static,
+    E: Send + Sync + 'static,
+    F: Fn(usize) -> Result<T, E> + Send + Sync + 'static,
+{
+    /// Creates a fetcher that computes chunk `index` by calling `fetch(index)`
+    /// on the pool.
+    pub fn new(config: ChunkFetcherConfig, strategy: Arc<dyn FetchingStrategy>, fetch: F) -> Self {
+        let parallelization = config.parallelization.max(1);
+        let prefetch_cache_size = config
+            .prefetch_cache_size
+            .unwrap_or(parallelization * 2)
+            .max(1);
+        Self {
+            pool: ThreadPool::new(parallelization),
+            strategy,
+            fetch: Arc::new(fetch),
+            state: Mutex::new(FetcherState {
+                access_cache: Cache::new(config.access_cache_size.max(1)),
+                prefetch_cache: Cache::new(prefetch_cache_size),
+                in_flight: HashMap::new(),
+                statistics: FetchStatistics::default(),
+            }),
+            prefetch_degree: parallelization * 2,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn parallelization(&self) -> usize {
+        self.pool.size()
+    }
+
+    /// Current statistics.
+    pub fn statistics(&self) -> FetchStatistics {
+        self.state.lock().statistics
+    }
+
+    /// Returns chunk `index`, computing it if necessary, and triggers
+    /// prefetching.  `total_chunks` bounds the indexes worth prefetching.
+    pub fn get(&self, index: usize, total_chunks: usize) -> Result<Arc<T>, E> {
+        self.strategy.on_access(index);
+
+        // Fast path: caches and finished prefetches.
+        let cached = {
+            let mut state = self.state.lock();
+            state.statistics.accesses += 1;
+            if let Some(value) = state.access_cache.get(&index) {
+                state.statistics.access_cache_hits += 1;
+                Some(Ok(value))
+            } else if let Some(value) = state.prefetch_cache.get(&index) {
+                state.statistics.prefetch_hits += 1;
+                let promoted = value.clone();
+                state.access_cache.insert(index, promoted);
+                Some(Ok(value))
+            } else if let Some(handle) = state.in_flight.remove(&index) {
+                state.statistics.prefetch_hits += 1;
+                // Drop the lock while waiting for the in-flight task.
+                drop(state);
+                let result = handle.wait();
+                Some(self.finish_access(index, result))
+            } else {
+                None
+            }
+        };
+        let result = match cached {
+            Some(result) => result,
+            None => {
+                // On-demand computation on the calling thread: the worker
+                // threads are reserved for prefetching.
+                {
+                    let mut state = self.state.lock();
+                    state.statistics.on_demand += 1;
+                }
+                let computed = (self.fetch)(index);
+                self.finish_access(index, computed)
+            }
+        };
+
+        self.issue_prefetches(total_chunks);
+        result
+    }
+
+    fn finish_access(&self, index: usize, result: Result<T, E>) -> Result<Arc<T>, E> {
+        match result {
+            Ok(value) => {
+                let value = Arc::new(value);
+                let mut state = self.state.lock();
+                state.access_cache.insert(index, value.clone());
+                Ok(value)
+            }
+            Err(error) => Err(error),
+        }
+    }
+
+    fn issue_prefetches(&self, total_chunks: usize) {
+        let wanted = self.strategy.prefetch(self.prefetch_degree);
+        let mut state = self.state.lock();
+        // Harvest finished prefetch tasks so their slots free up.
+        let finished: Vec<usize> = state
+            .in_flight
+            .iter()
+            .filter(|(_, handle)| handle.is_finished())
+            .map(|(&index, _)| index)
+            .collect();
+        for index in finished {
+            if let Some(handle) = state.in_flight.remove(&index) {
+                if let Some(Ok(Ok(value))) = handle.try_wait() {
+                    state.prefetch_cache.insert(index, Arc::new(value));
+                }
+                // Failed prefetches are dropped; an explicit access will
+                // retry and surface the error.
+            }
+        }
+        let capacity = state.prefetch_cache.capacity();
+        for index in wanted {
+            if index >= total_chunks
+                || state.in_flight.len() >= capacity
+                || state.prefetch_cache.contains(&index)
+                || state.access_cache.contains(&index)
+                || state.in_flight.contains_key(&index)
+            {
+                continue;
+            }
+            let fetch = self.fetch.clone();
+            state.statistics.prefetches_issued += 1;
+            state
+                .in_flight
+                .insert(index, self.pool.submit(move || fetch(index)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{FetchNextAdaptive, FetchNextFixed};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    fn make_fetcher(
+        parallelization: usize,
+        counter: Arc<AtomicUsize>,
+    ) -> ChunkFetcher<u64, String, impl Fn(usize) -> Result<u64, String> + Send + Sync + 'static>
+    {
+        ChunkFetcher::new(
+            ChunkFetcherConfig {
+                parallelization,
+                access_cache_size: 2,
+                prefetch_cache_size: None,
+            },
+            Arc::new(FetchNextAdaptive::default()),
+            move |index| {
+                counter.fetch_add(1, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(1));
+                if index == 9999 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(index as u64 * 10)
+                }
+            },
+        )
+    }
+
+    #[test]
+    fn sequential_access_returns_correct_values() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let fetcher = make_fetcher(4, counter);
+        for index in 0..40 {
+            assert_eq!(*fetcher.get(index, 40).unwrap(), index as u64 * 10);
+        }
+        let statistics = fetcher.statistics();
+        assert_eq!(statistics.accesses, 40);
+        assert!(statistics.prefetch_hits + statistics.on_demand + statistics.access_cache_hits == 40);
+        assert!(statistics.prefetch_hits > 10, "{statistics:?}");
+    }
+
+    #[test]
+    fn repeated_access_hits_the_access_cache() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let fetcher = make_fetcher(2, counter.clone());
+        fetcher.get(5, 100).unwrap();
+        let computed_after_first = counter.load(Ordering::SeqCst);
+        for _ in 0..10 {
+            fetcher.get(5, 100).unwrap();
+        }
+        assert!(fetcher.statistics().access_cache_hits >= 10);
+        // Re-accessing the same chunk never recomputes it.
+        assert!(counter.load(Ordering::SeqCst) >= computed_after_first);
+        let recomputations_of_5 = fetcher.statistics().on_demand;
+        assert_eq!(recomputations_of_5, 1);
+    }
+
+    #[test]
+    fn random_access_still_returns_correct_data() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let fetcher = make_fetcher(4, counter);
+        let pattern = [17usize, 3, 55, 4, 5, 6, 2, 90, 91, 0];
+        for &index in &pattern {
+            assert_eq!(*fetcher.get(index, 100).unwrap(), index as u64 * 10);
+        }
+    }
+
+    #[test]
+    fn errors_are_propagated_for_explicit_accesses() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let fetcher = make_fetcher(2, counter);
+        assert_eq!(fetcher.get(9999, 10000).unwrap_err(), "boom");
+        // The fetcher keeps working afterwards.
+        assert_eq!(*fetcher.get(1, 10000).unwrap(), 10);
+    }
+
+    #[test]
+    fn prefetching_never_exceeds_total_chunks() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let fetcher = make_fetcher(8, counter.clone());
+        for index in 0..5 {
+            fetcher.get(index, 5).unwrap();
+        }
+        // Give stray prefetch tasks a moment to run, then verify none fetched
+        // beyond the last chunk.
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(counter.load(Ordering::SeqCst) <= 5);
+    }
+
+    #[test]
+    fn fixed_strategy_works_too() {
+        let computed = Arc::new(AtomicUsize::new(0));
+        let computed_clone = computed.clone();
+        let fetcher = ChunkFetcher::new(
+            ChunkFetcherConfig {
+                parallelization: 2,
+                access_cache_size: 1,
+                prefetch_cache_size: Some(4),
+            },
+            Arc::new(FetchNextFixed::default()),
+            move |index: usize| {
+                computed_clone.fetch_add(1, Ordering::SeqCst);
+                Ok::<usize, ()>(index + 1)
+            },
+        );
+        for index in 0..16 {
+            assert_eq!(*fetcher.get(index, 16).unwrap(), index + 1);
+        }
+        assert!(fetcher.statistics().prefetches_issued > 0);
+    }
+}

@@ -1,0 +1,204 @@
+//! A fixed-size thread pool with joinable task handles.
+//!
+//! The paper's architecture dispatches chunk decompression and marker
+//! replacement as tasks to a shared pool (the `ThreadPool` / `JoiningThread`
+//! classes in Figure 5).  This implementation uses a crossbeam MPMC channel
+//! as the work queue and a small one-shot channel per task for the result.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Handle to a value being computed on the pool.
+pub struct TaskHandle<T> {
+    receiver: Receiver<std::thread::Result<T>>,
+}
+
+impl<T> TaskHandle<T> {
+    /// Blocks until the task finishes and returns its result.
+    ///
+    /// Panics if the task itself panicked (propagating the panic payload),
+    /// mirroring `std::thread::JoinHandle::join().unwrap()` semantics.
+    pub fn wait(self) -> T {
+        match self.receiver.recv() {
+            Ok(Ok(value)) => value,
+            Ok(Err(panic)) => std::panic::resume_unwind(panic),
+            Err(_) => panic!("thread pool dropped the task without running it"),
+        }
+    }
+
+    /// Returns the result if the task already finished.
+    pub fn try_wait(&self) -> Option<std::thread::Result<T>> {
+        self.receiver.try_recv().ok()
+    }
+
+    /// Whether the task has finished (successfully or by panicking).
+    pub fn is_finished(&self) -> bool {
+        !self.receiver.is_empty()
+    }
+}
+
+/// A fixed-size worker pool.
+pub struct ThreadPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl ThreadPool {
+    /// Spawns `size` worker threads (at least one).
+    pub fn new(size: usize) -> Self {
+        let size = size.max(1);
+        let (sender, receiver) = unbounded::<Job>();
+        let workers = (0..size)
+            .map(|index| {
+                let receiver: Receiver<Job> = receiver.clone();
+                std::thread::Builder::new()
+                    .name(format!("rgz-worker-{index}"))
+                    .spawn(move || {
+                        while let Ok(job) = receiver.recv() {
+                            job();
+                        }
+                    })
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        Self {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits a closure and returns a handle to its result.
+    pub fn submit<T, F>(&self, task: F) -> TaskHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let (result_sender, result_receiver) = unbounded();
+        let job: Job = Box::new(move || {
+            let outcome = catch_unwind(AssertUnwindSafe(task));
+            // The receiver may have been dropped if the caller lost interest;
+            // that is fine, the work is simply discarded.
+            let _ = result_sender.send(outcome);
+        });
+        self.sender
+            .as_ref()
+            .expect("thread pool already shut down")
+            .send(job)
+            .expect("worker threads terminated unexpectedly");
+        TaskHandle {
+            receiver: result_receiver,
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Closing the channel makes the workers exit their receive loop.
+        self.sender.take();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn runs_tasks_and_returns_results() {
+        let pool = ThreadPool::new(4);
+        let handles: Vec<TaskHandle<usize>> =
+            (0..100).map(|i| pool.submit(move || i * i)).collect();
+        let results: Vec<usize> = handles.into_iter().map(TaskHandle::wait).collect();
+        assert_eq!(results, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tasks_actually_run_in_parallel() {
+        let pool = ThreadPool::new(4);
+        let running = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let running = running.clone();
+                let peak = peak.clone();
+                pool.submit(move || {
+                    let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(30));
+                    running.fetch_sub(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.wait();
+        }
+        assert!(peak.load(Ordering::SeqCst) >= 2, "no observable parallelism");
+    }
+
+    #[test]
+    fn zero_size_is_clamped_to_one_worker() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.size(), 1);
+        assert_eq!(pool.submit(|| 7u32).wait(), 7);
+    }
+
+    #[test]
+    fn panicking_tasks_propagate_on_wait() {
+        let pool = ThreadPool::new(2);
+        let handle = pool.submit(|| -> u32 { panic!("task exploded") });
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| handle.wait()));
+        assert!(result.is_err());
+        // The pool must still be usable afterwards.
+        assert_eq!(pool.submit(|| 1 + 1).wait(), 2);
+    }
+
+    #[test]
+    fn is_finished_and_try_wait() {
+        let pool = ThreadPool::new(1);
+        let handle = pool.submit(|| {
+            std::thread::sleep(Duration::from_millis(50));
+            42
+        });
+        assert!(handle.try_wait().is_none() || handle.is_finished());
+        assert_eq!(handle.wait(), 42);
+    }
+
+    #[test]
+    fn dropping_the_pool_joins_all_workers() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = ThreadPool::new(3);
+            for _ in 0..50 {
+                let counter = counter.clone();
+                // Fire-and-forget: handles are dropped immediately.
+                let _ = pool.submit(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        }
+        // All submitted tasks ran before drop returned.
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+    }
+}

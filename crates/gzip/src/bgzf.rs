@@ -1,0 +1,188 @@
+//! Blocked GNU Zip Format (BGZF) support.
+//!
+//! BGZF files (§3.4.4 of the paper, used by `bgzip`/htslib) are ordinary
+//! multi-member gzip files whose members carry an FEXTRA subfield `BC`
+//! storing the compressed size of the member. That metadata lets a reader
+//! jump from member to member without decoding, which is the trivially
+//! parallel fast path the paper describes.
+
+use rgz_checksum::Crc32;
+use rgz_deflate::{CompressorOptions, DeflateCompressor};
+
+use crate::header::{GzipFooter, GzipHeader, OS_UNIX};
+
+/// Maximum number of *input* bytes per BGZF block (the value htslib uses so
+/// that the compressed block always fits the 16-bit BSIZE field).
+pub const MAX_BGZF_INPUT_BLOCK: usize = 0xFF00;
+
+/// The canonical 28-byte BGZF end-of-file marker block.
+pub const BGZF_EOF_BLOCK: [u8; 28] = [
+    0x1F, 0x8B, 0x08, 0x04, 0x00, 0x00, 0x00, 0x00, 0x00, 0xFF, 0x06, 0x00, 0x42, 0x43, 0x02,
+    0x00, 0x1B, 0x00, 0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+];
+
+/// Returns the BSIZE value (total member size − 1) if the parsed gzip header
+/// is a BGZF block header.
+pub fn is_bgzf_header(header: &GzipHeader) -> Option<u16> {
+    let extra = header.extra_field.as_deref()?;
+    let mut rest = extra;
+    while rest.len() >= 4 {
+        let si1 = rest[0];
+        let si2 = rest[1];
+        let sub_length = u16::from_le_bytes([rest[2], rest[3]]) as usize;
+        let payload = rest.get(4..4 + sub_length)?;
+        if si1 == b'B' && si2 == b'C' && sub_length == 2 {
+            return Some(u16::from_le_bytes([payload[0], payload[1]]));
+        }
+        rest = &rest[4 + sub_length..];
+    }
+    None
+}
+
+/// Writes BGZF files: fixed-size independently compressed gzip members with
+/// the `BC` extra field, terminated by the canonical EOF block.
+#[derive(Debug, Clone)]
+pub struct BgzfWriter {
+    options: CompressorOptions,
+    input_block_size: usize,
+}
+
+impl Default for BgzfWriter {
+    fn default() -> Self {
+        Self::new(CompressorOptions::default())
+    }
+}
+
+impl BgzfWriter {
+    /// Creates a writer with explicit compressor options.
+    pub fn new(options: CompressorOptions) -> Self {
+        Self {
+            options,
+            input_block_size: MAX_BGZF_INPUT_BLOCK,
+        }
+    }
+
+    /// Overrides the number of input bytes per BGZF block (must stay small
+    /// enough for the compressed block to fit in 64 KiB).
+    pub fn with_input_block_size(mut self, size: usize) -> Self {
+        assert!(size > 0 && size <= MAX_BGZF_INPUT_BLOCK);
+        self.input_block_size = size;
+        self
+    }
+
+    /// Compresses `data` into a BGZF file.
+    pub fn compress(&self, data: &[u8]) -> Vec<u8> {
+        let compressor = DeflateCompressor::new(self.options.clone());
+        let mut out = Vec::new();
+        for chunk in data.chunks(self.input_block_size.max(1)) {
+            out.extend(Self::write_block(&compressor, chunk));
+        }
+        if data.is_empty() {
+            out.extend(Self::write_block(&compressor, &[]));
+        }
+        out.extend_from_slice(&BGZF_EOF_BLOCK);
+        out
+    }
+
+    fn write_block(compressor: &DeflateCompressor, chunk: &[u8]) -> Vec<u8> {
+        let deflate = compressor.compress(chunk);
+        // Header with a placeholder BC subfield; BSIZE = total size - 1.
+        let header = GzipHeader {
+            operating_system: OS_UNIX,
+            extra_field: Some(vec![b'B', b'C', 2, 0, 0, 0]),
+            ..Default::default()
+        };
+        let mut header_bytes = header.to_bytes();
+        let total_size = header_bytes.len() + deflate.len() + 8;
+        assert!(total_size <= u16::MAX as usize + 1, "BGZF block too large");
+        let bsize = (total_size - 1) as u16;
+        // Patch the BSIZE into the last two bytes of the extra field.
+        let extra_position = header_bytes.len() - 2;
+        header_bytes[extra_position..].copy_from_slice(&bsize.to_le_bytes());
+
+        let mut crc = Crc32::new();
+        crc.update(chunk);
+        let footer = GzipFooter {
+            crc32: crc.finalize(),
+            uncompressed_size: chunk.len() as u32,
+        };
+        let mut block = header_bytes;
+        block.extend_from_slice(&deflate);
+        block.extend_from_slice(&footer.to_bytes());
+        block
+    }
+}
+
+/// Scans a BGZF file and returns the byte offset of every block, using only
+/// the `BC` metadata (no decompression).
+pub fn block_offsets(data: &[u8]) -> Result<Vec<u64>, crate::GzipError> {
+    let mut offsets = Vec::new();
+    let mut offset = 0usize;
+    while offset + 18 <= data.len() {
+        let mut reader = rgz_bitio::BitReader::new(&data[offset..]);
+        let header = crate::header::parse_header(&mut reader)?;
+        let Some(bsize) = is_bgzf_header(&header) else {
+            return Err(crate::GzipError::TrailingGarbage { offset: offset as u64 });
+        };
+        offsets.push(offset as u64);
+        offset += bsize as usize + 1;
+    }
+    Ok(offsets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder::{decompress, decompress_with_info};
+
+    #[test]
+    fn eof_block_is_a_valid_empty_member() {
+        let mut reader = rgz_bitio::BitReader::new(&BGZF_EOF_BLOCK);
+        let header = crate::header::parse_header(&mut reader).unwrap();
+        assert_eq!(is_bgzf_header(&header), Some(27));
+        assert_eq!(decompress(&BGZF_EOF_BLOCK).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn bgzf_files_round_trip_and_are_multi_member() {
+        let data: Vec<u8> = (0..300_000u32)
+            .flat_map(|i| format!("row {}\n", i % 5000).into_bytes())
+            .collect();
+        let compressed = BgzfWriter::default().compress(&data);
+        let (restored, members) = decompress_with_info(&compressed).unwrap();
+        assert_eq!(restored, data);
+        let expected_blocks = data.len().div_ceil(MAX_BGZF_INPUT_BLOCK);
+        assert_eq!(members.len(), expected_blocks + 1); // + EOF block
+        for member in &members {
+            assert!(is_bgzf_header(&member.header).is_some());
+        }
+    }
+
+    #[test]
+    fn block_offsets_match_member_starts() {
+        let data = vec![42u8; 200_000];
+        let compressed = BgzfWriter::default().compress(&data);
+        let offsets = block_offsets(&compressed).unwrap();
+        let (_, members) = decompress_with_info(&compressed).unwrap();
+        let member_starts: Vec<u64> = members.iter().map(|m| m.compressed_start).collect();
+        assert_eq!(offsets, member_starts);
+    }
+
+    #[test]
+    fn non_bgzf_headers_are_detected() {
+        let plain = crate::GzipWriter::default().compress(b"not bgzf");
+        let mut reader = rgz_bitio::BitReader::new(&plain);
+        let header = crate::header::parse_header(&mut reader).unwrap();
+        assert_eq!(is_bgzf_header(&header), None);
+        assert!(block_offsets(&plain).is_err());
+    }
+
+    #[test]
+    fn small_input_block_size_is_respected() {
+        let data = vec![7u8; 10_000];
+        let compressed = BgzfWriter::default().with_input_block_size(1024).compress(&data);
+        let offsets = block_offsets(&compressed).unwrap();
+        assert_eq!(offsets.len(), 10 + 1);
+        assert_eq!(decompress(&compressed).unwrap(), data);
+    }
+}

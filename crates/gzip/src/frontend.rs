@@ -1,0 +1,187 @@
+//! Compressor front-ends emulating the tools used in the paper's evaluation.
+//!
+//! Table 3 decompresses the same corpus compressed by `bgzip`, `gzip`,
+//! `igzip` and `pigz` at several levels; Table 4 additionally uses BGZF.
+//! Each front-end reproduces the *structural* property that matters for
+//! parallel decompression: the DEFLATE block size, whether blocks are
+//! stored/dynamic, whether the file has one or many gzip members, and whether
+//! the whole file is a single huge block.
+
+use rgz_deflate::{CompressionLevel, CompressorOptions};
+
+use crate::bgzf::BgzfWriter;
+use crate::writer::GzipWriter;
+
+/// Which tool behaviour to emulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrontendKind {
+    /// GNU gzip: one gzip member, dynamic blocks of moderate size.
+    Gzip,
+    /// pigz: one gzip member, independently compressed chunks separated by
+    /// empty stored blocks.
+    Pigz,
+    /// bgzip: BGZF — many small gzip members with the `BC` size field.
+    Bgzf,
+    /// igzip: like gzip but with larger blocks; level 0 produces a single
+    /// huge Dynamic Block covering the whole file (the pathological case in
+    /// Table 3 that cannot be parallelized).
+    Igzip,
+}
+
+impl FrontendKind {
+    /// All front-ends, for sweeps.
+    pub fn all() -> [FrontendKind; 4] {
+        [
+            FrontendKind::Gzip,
+            FrontendKind::Pigz,
+            FrontendKind::Bgzf,
+            FrontendKind::Igzip,
+        ]
+    }
+}
+
+/// A concrete (tool, level) combination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompressorFrontend {
+    /// Tool behaviour.
+    pub kind: FrontendKind,
+    /// gzip-style numeric level (0..=9); interpretation depends on the tool.
+    pub level: u8,
+}
+
+impl CompressorFrontend {
+    /// Creates a front-end description.
+    pub fn new(kind: FrontendKind, level: u8) -> Self {
+        Self { kind, level }
+    }
+
+    /// A human-readable label matching the paper's first column
+    /// (e.g. `"gzip -6"`, `"bgzip -l 0"`).
+    pub fn label(&self) -> String {
+        match self.kind {
+            FrontendKind::Gzip => format!("gzip -{}", self.level),
+            FrontendKind::Pigz => format!("pigz -{}", self.level),
+            FrontendKind::Bgzf => format!("bgzip -l {}", self.level),
+            FrontendKind::Igzip => format!("igzip -{}", self.level),
+        }
+    }
+
+    fn compressor_options(&self) -> CompressorOptions {
+        let level = CompressionLevel::from_numeric(self.level);
+        match self.kind {
+            FrontendKind::Gzip => CompressorOptions {
+                level,
+                // GNU gzip emits a new Dynamic Block roughly every 64 KiB of
+                // input with default settings.
+                block_size: 64 * 1024,
+                force_dynamic: false,
+            },
+            FrontendKind::Pigz => CompressorOptions {
+                level,
+                block_size: 64 * 1024,
+                force_dynamic: false,
+            },
+            FrontendKind::Bgzf => CompressorOptions {
+                level: if self.level == 0 {
+                    CompressionLevel::Stored
+                } else {
+                    level
+                },
+                block_size: 64 * 1024,
+                force_dynamic: false,
+            },
+            FrontendKind::Igzip => CompressorOptions {
+                level: if self.level == 0 {
+                    CompressionLevel::Huffman
+                } else {
+                    CompressionLevel::Fast
+                },
+                // igzip -0 places the whole file in one Dynamic Block.
+                block_size: if self.level == 0 {
+                    usize::MAX
+                } else {
+                    256 * 1024
+                },
+                force_dynamic: self.level == 0,
+            },
+        }
+    }
+
+    /// Compresses `data` with the emulated tool behaviour.
+    pub fn compress(&self, data: &[u8]) -> Vec<u8> {
+        let options = self.compressor_options();
+        match self.kind {
+            FrontendKind::Gzip | FrontendKind::Igzip => GzipWriter::new(options).compress(data),
+            FrontendKind::Pigz => GzipWriter::new(options).compress_pigz_like(data, 128 * 1024),
+            FrontendKind::Bgzf => BgzfWriter::new(options).compress(data),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder::decompress_with_info;
+
+    fn corpus() -> Vec<u8> {
+        let mut data = Vec::new();
+        for i in 0..40_000u32 {
+            data.extend_from_slice(format!("entry {:05} lorem ipsum dolor sit amet\n", i % 3000).as_bytes());
+        }
+        data
+    }
+
+    #[test]
+    fn labels_match_paper_style() {
+        assert_eq!(CompressorFrontend::new(FrontendKind::Gzip, 6).label(), "gzip -6");
+        assert_eq!(CompressorFrontend::new(FrontendKind::Bgzf, 0).label(), "bgzip -l 0");
+        assert_eq!(CompressorFrontend::new(FrontendKind::Igzip, 0).label(), "igzip -0");
+        assert_eq!(CompressorFrontend::new(FrontendKind::Pigz, 9).label(), "pigz -9");
+    }
+
+    #[test]
+    fn every_frontend_round_trips() {
+        let data = corpus();
+        for kind in FrontendKind::all() {
+            for level in [0u8, 1, 6] {
+                let frontend = CompressorFrontend::new(kind, level);
+                let compressed = frontend.compress(&data);
+                let (restored, _) = decompress_with_info(&compressed).unwrap();
+                assert_eq!(restored, data, "{}", frontend.label());
+            }
+        }
+    }
+
+    #[test]
+    fn igzip_level_0_uses_a_single_dynamic_block() {
+        let data = corpus();
+        let compressed = CompressorFrontend::new(FrontendKind::Igzip, 0).compress(&data);
+        let mut reader = rgz_bitio::BitReader::new(&compressed);
+        crate::header::parse_header(&mut reader).unwrap();
+        let mut out = Vec::new();
+        let outcome = rgz_deflate::inflate(&mut reader, &[], &mut out, u64::MAX).unwrap();
+        assert_eq!(outcome.blocks.len(), 1);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn bgzf_level_0_produces_stored_blocks() {
+        let data = corpus();
+        let compressed = CompressorFrontend::new(FrontendKind::Bgzf, 0).compress(&data);
+        // Stored output must be larger than the input (headers + no compression).
+        assert!(compressed.len() > data.len());
+        let (_, members) = decompress_with_info(&compressed).unwrap();
+        assert!(members.len() > 1);
+    }
+
+    #[test]
+    fn higher_levels_compress_better() {
+        let data = corpus();
+        let fast = CompressorFrontend::new(FrontendKind::Gzip, 1).compress(&data);
+        let best = CompressorFrontend::new(FrontendKind::Gzip, 9).compress(&data);
+        // The lazy matcher is a heuristic, so allow a small tolerance rather
+        // than requiring strict monotonicity across levels.
+        assert!(best.len() <= fast.len() + fast.len() / 20);
+        assert!(fast.len() < data.len());
+    }
+}

@@ -1,0 +1,110 @@
+//! Canonical Huffman encoder used by the DEFLATE compressor.
+
+use rgz_bitio::BitWriter;
+
+use crate::{canonical_codes, classify_code_lengths, CodeCompleteness, HuffmanError, MAX_CODE_LENGTH};
+
+/// Encodes symbols with a canonical Huffman code defined by code lengths.
+#[derive(Debug, Clone)]
+pub struct HuffmanEncoder {
+    /// `codes[symbol] = (code, length)`; length 0 means "no code assigned".
+    codes: Vec<(u32, u8)>,
+}
+
+impl HuffmanEncoder {
+    /// Builds an encoder from per-symbol code lengths (0 = symbol unused).
+    ///
+    /// Unlike the decoder, incomplete codes are accepted as long as they are
+    /// not over-subscribed: the compressor only ever *emits* symbols that have
+    /// codes, and DEFLATE's single-distance-code special case is incomplete by
+    /// definition.
+    pub fn from_code_lengths(lengths: &[u8]) -> Result<Self, HuffmanError> {
+        let max_length = lengths.iter().copied().max().unwrap_or(0) as u32;
+        if max_length == 0 {
+            return Err(HuffmanError::EmptyAlphabet);
+        }
+        if max_length > MAX_CODE_LENGTH {
+            return Err(HuffmanError::LengthTooLarge {
+                length: max_length as u8,
+                maximum: MAX_CODE_LENGTH,
+            });
+        }
+        if classify_code_lengths(lengths) == CodeCompleteness::Oversubscribed {
+            return Err(HuffmanError::Oversubscribed);
+        }
+        Ok(Self {
+            codes: canonical_codes(lengths),
+        })
+    }
+
+    /// Writes the code for `symbol` to `writer`.
+    #[inline]
+    pub fn encode(&self, writer: &mut BitWriter, symbol: u16) -> Result<(), HuffmanError> {
+        let (code, length) = self
+            .codes
+            .get(symbol as usize)
+            .copied()
+            .ok_or(HuffmanError::SymbolWithoutCode { symbol })?;
+        if length == 0 {
+            return Err(HuffmanError::SymbolWithoutCode { symbol });
+        }
+        writer.write_huffman_code(code, length as u32);
+        Ok(())
+    }
+
+    /// Code length assigned to `symbol` (0 if unused).
+    #[inline]
+    pub fn code_length(&self, symbol: u16) -> u8 {
+        self.codes.get(symbol as usize).map(|&(_, l)| l).unwrap_or(0)
+    }
+
+    /// Number of symbols in the alphabet.
+    #[inline]
+    pub fn alphabet_size(&self) -> usize {
+        self.codes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_oversubscribed_codes() {
+        assert!(matches!(
+            HuffmanEncoder::from_code_lengths(&[1, 1, 1]),
+            Err(HuffmanError::Oversubscribed)
+        ));
+    }
+
+    #[test]
+    fn accepts_incomplete_codes() {
+        let encoder = HuffmanEncoder::from_code_lengths(&[1, 0]).unwrap();
+        assert_eq!(encoder.code_length(0), 1);
+        assert_eq!(encoder.code_length(1), 0);
+    }
+
+    #[test]
+    fn refuses_symbols_without_codes() {
+        let encoder = HuffmanEncoder::from_code_lengths(&[1, 1, 0]).unwrap();
+        let mut writer = BitWriter::new();
+        assert!(encoder.encode(&mut writer, 0).is_ok());
+        assert!(matches!(
+            encoder.encode(&mut writer, 2),
+            Err(HuffmanError::SymbolWithoutCode { symbol: 2 })
+        ));
+        assert!(matches!(
+            encoder.encode(&mut writer, 99),
+            Err(HuffmanError::SymbolWithoutCode { symbol: 99 })
+        ));
+    }
+
+    #[test]
+    fn code_lengths_too_long_rejected() {
+        let lengths = [16u8, 1];
+        assert!(matches!(
+            HuffmanEncoder::from_code_lengths(&lengths),
+            Err(HuffmanError::LengthTooLarge { .. })
+        ));
+    }
+}

@@ -1,0 +1,225 @@
+//! Length-limited Huffman code construction via the package-merge algorithm.
+//!
+//! The DEFLATE compressor needs code lengths bounded by 15 (literal/length
+//! and distance alphabets) or 7 (precode).  Package-merge produces an optimal
+//! set of lengths under such a bound, unlike plain Huffman construction which
+//! can exceed it for skewed frequency distributions.
+
+use crate::HuffmanError;
+
+/// Computes length-limited Huffman code lengths for the given symbol
+/// frequencies.
+///
+/// * Symbols with frequency zero receive length zero (no code).
+/// * If no symbol has a non-zero frequency, all lengths are zero.
+/// * If exactly one symbol is used it receives length 1 (DEFLATE encodes
+///   single-symbol alphabets with one bit, not zero bits).
+/// * Otherwise the returned lengths form a complete code with
+///   `length <= max_length` for every symbol, minimizing the weighted length.
+///
+/// Returns an error only if the alphabet cannot be represented within
+/// `max_length` bits (i.e. more than `2^max_length` used symbols).
+pub fn compute_code_lengths(frequencies: &[u32], max_length: u32) -> Result<Vec<u8>, HuffmanError> {
+    let used: Vec<usize> = frequencies
+        .iter()
+        .enumerate()
+        .filter(|(_, &f)| f > 0)
+        .map(|(i, _)| i)
+        .collect();
+    let mut lengths = vec![0u8; frequencies.len()];
+    match used.len() {
+        0 => return Ok(lengths),
+        1 => {
+            lengths[used[0]] = 1;
+            return Ok(lengths);
+        }
+        n if (n as u64) > (1u64 << max_length) => {
+            return Err(HuffmanError::LengthTooLarge {
+                length: max_length as u8 + 1,
+                maximum: max_length,
+            })
+        }
+        _ => {}
+    }
+
+    // Package-merge. An item is either an original leaf or a package of two
+    // items from the previous level; we only need to know, per item, how many
+    // times each *leaf* occurs inside it, which we track as a count vector
+    // indexed by position in `used`.
+    #[derive(Clone)]
+    struct Item {
+        weight: u64,
+        /// Number of occurrences of each used symbol inside this item.
+        leaf_counts: Vec<u16>,
+    }
+
+    let leaves: Vec<Item> = {
+        let mut leaves: Vec<Item> = used
+            .iter()
+            .enumerate()
+            .map(|(slot, &symbol)| {
+                let mut counts = vec![0u16; used.len()];
+                counts[slot] = 1;
+                Item {
+                    weight: frequencies[symbol] as u64,
+                    leaf_counts: counts,
+                }
+            })
+            .collect();
+        leaves.sort_by_key(|item| item.weight);
+        leaves
+    };
+
+    let mut current = leaves.clone();
+    for _ in 1..max_length {
+        // Package adjacent pairs of the current list.
+        let mut packages = Vec::with_capacity(current.len() / 2);
+        let mut iter = current.chunks_exact(2);
+        for pair in &mut iter {
+            let mut counts = pair[0].leaf_counts.clone();
+            for (count, other) in counts.iter_mut().zip(&pair[1].leaf_counts) {
+                *count += other;
+            }
+            packages.push(Item {
+                weight: pair[0].weight + pair[1].weight,
+                leaf_counts: counts,
+            });
+        }
+        // Merge the original leaves with the packages, keeping the list sorted.
+        let mut merged = Vec::with_capacity(leaves.len() + packages.len());
+        let (mut i, mut j) = (0, 0);
+        while i < leaves.len() || j < packages.len() {
+            let take_leaf = match (leaves.get(i), packages.get(j)) {
+                (Some(leaf), Some(package)) => leaf.weight <= package.weight,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => unreachable!(),
+            };
+            if take_leaf {
+                merged.push(leaves[i].clone());
+                i += 1;
+            } else {
+                merged.push(packages[j].clone());
+                j += 1;
+            }
+        }
+        current = merged;
+    }
+
+    // The first 2n-2 items of the final list define the code: each occurrence
+    // of a leaf adds one to that symbol's code length.
+    let selected = 2 * used.len() - 2;
+    let mut per_slot_lengths = vec![0u16; used.len()];
+    for item in current.iter().take(selected) {
+        for (slot, &count) in item.leaf_counts.iter().enumerate() {
+            per_slot_lengths[slot] += count;
+        }
+    }
+    for (slot, &symbol) in used.iter().enumerate() {
+        debug_assert!(per_slot_lengths[slot] >= 1);
+        debug_assert!(per_slot_lengths[slot] as u32 <= max_length);
+        lengths[symbol] = per_slot_lengths[slot] as u8;
+    }
+    Ok(lengths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{classify_code_lengths, CodeCompleteness};
+    use proptest::prelude::*;
+
+    fn weighted_length(frequencies: &[u32], lengths: &[u8]) -> u64 {
+        frequencies
+            .iter()
+            .zip(lengths)
+            .map(|(&f, &l)| f as u64 * l as u64)
+            .sum()
+    }
+
+    #[test]
+    fn empty_and_single_symbol_cases() {
+        assert_eq!(compute_code_lengths(&[0, 0, 0], 15).unwrap(), vec![0, 0, 0]);
+        assert_eq!(compute_code_lengths(&[0, 7, 0], 15).unwrap(), vec![0, 1, 0]);
+        assert_eq!(compute_code_lengths(&[], 15).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn two_symbols_get_one_bit_each() {
+        assert_eq!(compute_code_lengths(&[1000, 1], 15).unwrap(), vec![1, 1]);
+    }
+
+    #[test]
+    fn uniform_frequencies_give_balanced_code() {
+        let lengths = compute_code_lengths(&[5; 8], 15).unwrap();
+        assert_eq!(lengths, vec![3; 8]);
+    }
+
+    #[test]
+    fn skewed_frequencies_respect_the_limit() {
+        // Fibonacci-like frequencies force long codes in unbounded Huffman.
+        let frequencies: Vec<u32> = (0..20).map(|i| 1u32 << i.min(20)).collect();
+        for limit in [5u32, 7, 15] {
+            let lengths = compute_code_lengths(&frequencies, limit).unwrap();
+            assert!(lengths.iter().all(|&l| l as u32 <= limit && l > 0));
+            assert_eq!(classify_code_lengths(&lengths), CodeCompleteness::Complete);
+        }
+    }
+
+    #[test]
+    fn matches_unbounded_huffman_when_limit_is_loose() {
+        // Reference: classic Huffman via repeated pairing of the two lightest
+        // weights (computed here with a simple O(n^2) loop).
+        let frequencies = [45u32, 13, 12, 16, 9, 5];
+        let lengths = compute_code_lengths(&frequencies, 15).unwrap();
+        // The canonical optimum for this distribution costs 224 weighted bits.
+        assert_eq!(weighted_length(&frequencies, &lengths), 224);
+        assert_eq!(classify_code_lengths(&lengths), CodeCompleteness::Complete);
+    }
+
+    #[test]
+    fn too_many_symbols_for_the_limit_is_an_error() {
+        let frequencies = vec![1u32; 5];
+        assert!(compute_code_lengths(&frequencies, 2).is_err());
+        assert!(compute_code_lengths(&frequencies, 3).is_ok());
+    }
+
+    proptest! {
+        #[test]
+        fn always_produces_complete_bounded_codes(
+            frequencies in proptest::collection::vec(0u32..10_000, 0..80),
+            limit in 8u32..=15,
+        ) {
+            let lengths = compute_code_lengths(&frequencies, limit).unwrap();
+            prop_assert_eq!(lengths.len(), frequencies.len());
+            for (frequency, length) in frequencies.iter().zip(&lengths) {
+                prop_assert_eq!(*frequency == 0, *length == 0);
+                prop_assert!((*length as u32) <= limit);
+            }
+            let used = frequencies.iter().filter(|&&f| f > 0).count();
+            match used {
+                0 => {}
+                1 => prop_assert_eq!(classify_code_lengths(&lengths), CodeCompleteness::Incomplete),
+                _ => prop_assert_eq!(classify_code_lengths(&lengths), CodeCompleteness::Complete),
+            }
+        }
+
+        #[test]
+        fn cost_never_beats_entropy_bound(
+            frequencies in proptest::collection::vec(1u32..1000, 2..40),
+        ) {
+            let lengths = compute_code_lengths(&frequencies, 15).unwrap();
+            let total: f64 = frequencies.iter().map(|&f| f as f64).sum();
+            let entropy: f64 = frequencies.iter()
+                .map(|&f| {
+                    let p = f as f64 / total;
+                    -p * p.log2()
+                })
+                .sum();
+            let cost = weighted_length(&frequencies, &lengths) as f64;
+            // Shannon: optimal expected length is within [H, H + 1).
+            prop_assert!(cost >= entropy * total - 1e-6);
+            prop_assert!(cost <= (entropy + 1.0) * total + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,465 @@
+//! The seek-point index (§1.3, §3.3).
+//!
+//! During the first decompression pass rapidgzip records, for every chunk (and
+//! for every DEFLATE block boundary it decides to keep), the compressed bit
+//! offset, the uncompressed byte offset, and the 32 KiB window needed to
+//! resume decoding there.  With such an index, later reads seek in constant
+//! time and decompression can skip the two-stage machinery entirely.
+//!
+//! Three pieces mirror the paper's class diagram: [`BlockMap`] (offset
+//! translation), [`WindowMap`] (windows keyed by compressed offset) and
+//! [`GzipIndex`] which bundles them and supports export/import.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rgz_checksum::crc32;
+
+/// Maximum window size stored per seek point.
+pub const WINDOW_SIZE: usize = 32 * 1024;
+
+/// One entry of the index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeekPoint {
+    /// Bit offset of the first DEFLATE block of this chunk in the compressed
+    /// stream.
+    pub compressed_bit_offset: u64,
+    /// Offset of the first decompressed byte of this chunk.
+    pub uncompressed_offset: u64,
+    /// Number of decompressed bytes in this chunk.
+    pub uncompressed_size: u64,
+}
+
+/// Maps uncompressed offsets to seek points (the paper's `BlockMap`).
+#[derive(Debug, Default, Clone)]
+pub struct BlockMap {
+    points: Vec<SeekPoint>,
+}
+
+impl BlockMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of seek points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// All seek points in order of uncompressed offset.
+    pub fn points(&self) -> &[SeekPoint] {
+        &self.points
+    }
+
+    /// Appends a seek point; offsets must be non-decreasing.
+    pub fn push(&mut self, point: SeekPoint) {
+        if let Some(last) = self.points.last() {
+            assert!(
+                point.uncompressed_offset >= last.uncompressed_offset
+                    && point.compressed_bit_offset >= last.compressed_bit_offset,
+                "seek points must be appended in order"
+            );
+        }
+        self.points.push(point);
+    }
+
+    /// Finds the last seek point whose uncompressed offset is `<= offset`.
+    pub fn find(&self, offset: u64) -> Option<&SeekPoint> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let position = self
+            .points
+            .partition_point(|p| p.uncompressed_offset <= offset);
+        if position == 0 {
+            None
+        } else {
+            Some(&self.points[position - 1])
+        }
+    }
+
+    /// Finds the seek point that starts exactly at the given compressed bit
+    /// offset.
+    pub fn find_by_compressed_offset(&self, bit_offset: u64) -> Option<&SeekPoint> {
+        self.points
+            .binary_search_by_key(&bit_offset, |p| p.compressed_bit_offset)
+            .ok()
+            .map(|i| &self.points[i])
+    }
+
+    /// Total decompressed size covered by the seek points.
+    pub fn uncompressed_size(&self) -> u64 {
+        self.points
+            .last()
+            .map(|p| p.uncompressed_offset + p.uncompressed_size)
+            .unwrap_or(0)
+    }
+}
+
+/// Windows keyed by compressed bit offset (the paper's `WindowMap`).
+///
+/// Windows are shared via `Arc` because the chunk fetcher, the index and
+/// in-flight decompression tasks all hold references concurrently.
+#[derive(Debug, Default, Clone)]
+pub struct WindowMap {
+    windows: HashMap<u64, Arc<Vec<u8>>>,
+}
+
+impl WindowMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored windows.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Stores the window preceding the block at `compressed_bit_offset`,
+    /// keeping only the last 32 KiB.
+    pub fn insert(&mut self, compressed_bit_offset: u64, window: &[u8]) {
+        let tail_start = window.len().saturating_sub(WINDOW_SIZE);
+        self.windows.insert(
+            compressed_bit_offset,
+            Arc::new(window[tail_start..].to_vec()),
+        );
+    }
+
+    /// Stores an already shared window.
+    pub fn insert_shared(&mut self, compressed_bit_offset: u64, window: Arc<Vec<u8>>) {
+        debug_assert!(window.len() <= WINDOW_SIZE);
+        self.windows.insert(compressed_bit_offset, window);
+    }
+
+    /// Looks up the window for a compressed bit offset.
+    pub fn get(&self, compressed_bit_offset: u64) -> Option<Arc<Vec<u8>>> {
+        self.windows.get(&compressed_bit_offset).cloned()
+    }
+
+    /// Whether a window exists for the given offset.
+    pub fn contains(&self, compressed_bit_offset: u64) -> bool {
+        self.windows.contains_key(&compressed_bit_offset)
+    }
+}
+
+/// A complete seek index: block map + window map + stream totals.
+#[derive(Debug, Default, Clone)]
+pub struct GzipIndex {
+    /// Offset translation.
+    pub block_map: BlockMap,
+    /// Windows for each seek point.
+    pub window_map: WindowMap,
+    /// Size of the compressed file in bytes (0 if unknown).
+    pub compressed_size: u64,
+    /// Total decompressed size (0 if unknown / not yet complete).
+    pub uncompressed_size: u64,
+}
+
+/// Errors from index import.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexError {
+    /// The serialized data does not start with the expected magic bytes.
+    BadMagic,
+    /// Unsupported format version.
+    UnsupportedVersion(u32),
+    /// The data is shorter than its header claims.
+    Truncated,
+    /// The trailing checksum does not match.
+    ChecksumMismatch,
+}
+
+impl std::fmt::Display for IndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexError::BadMagic => write!(f, "not a rapidgzip-rs index file"),
+            IndexError::UnsupportedVersion(v) => write!(f, "unsupported index version {v}"),
+            IndexError::Truncated => write!(f, "truncated index data"),
+            IndexError::ChecksumMismatch => write!(f, "index checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
+const MAGIC: &[u8; 8] = b"RGZIDX01";
+const VERSION: u32 = 1;
+
+impl GzipIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a seek point together with its window.
+    pub fn add_seek_point(&mut self, point: SeekPoint, window: &[u8]) {
+        self.window_map.insert(point.compressed_bit_offset, window);
+        self.block_map.push(point);
+    }
+
+    /// Serialises the index to a standalone byte buffer.
+    ///
+    /// Layout: magic, version, counts and totals, the seek points, then each
+    /// window prefixed by its length, and finally a CRC-32 over everything
+    /// before it.
+    pub fn export(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&self.compressed_size.to_le_bytes());
+        out.extend_from_slice(&self.uncompressed_size.to_le_bytes());
+        out.extend_from_slice(&(self.block_map.len() as u64).to_le_bytes());
+        for point in self.block_map.points() {
+            out.extend_from_slice(&point.compressed_bit_offset.to_le_bytes());
+            out.extend_from_slice(&point.uncompressed_offset.to_le_bytes());
+            out.extend_from_slice(&point.uncompressed_size.to_le_bytes());
+            let window = self.window_map.get(point.compressed_bit_offset);
+            match window {
+                Some(window) => {
+                    out.extend_from_slice(&(window.len() as u32).to_le_bytes());
+                    out.extend_from_slice(&window);
+                }
+                None => out.extend_from_slice(&0u32.to_le_bytes()),
+            }
+        }
+        let checksum = crc32(&out);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
+    /// Reconstructs an index previously produced by [`GzipIndex::export`].
+    pub fn import(data: &[u8]) -> Result<Self, IndexError> {
+        if data.len() < MAGIC.len() + 4 + 8 + 8 + 8 + 4 {
+            return Err(IndexError::Truncated);
+        }
+        if &data[..8] != MAGIC {
+            return Err(IndexError::BadMagic);
+        }
+        let stored_checksum = u32::from_le_bytes(data[data.len() - 4..].try_into().unwrap());
+        let computed = crc32(&data[..data.len() - 4]);
+        if stored_checksum != computed {
+            return Err(IndexError::ChecksumMismatch);
+        }
+        let mut cursor = 8usize;
+        let read_u32 = |cursor: &mut usize| -> Result<u32, IndexError> {
+            let bytes = data
+                .get(*cursor..*cursor + 4)
+                .ok_or(IndexError::Truncated)?;
+            *cursor += 4;
+            Ok(u32::from_le_bytes(bytes.try_into().unwrap()))
+        };
+        let read_u64 = |cursor: &mut usize| -> Result<u64, IndexError> {
+            let bytes = data
+                .get(*cursor..*cursor + 8)
+                .ok_or(IndexError::Truncated)?;
+            *cursor += 8;
+            Ok(u64::from_le_bytes(bytes.try_into().unwrap()))
+        };
+
+        let version = read_u32(&mut cursor)?;
+        if version != VERSION {
+            return Err(IndexError::UnsupportedVersion(version));
+        }
+        let compressed_size = read_u64(&mut cursor)?;
+        let uncompressed_size = read_u64(&mut cursor)?;
+        let point_count = read_u64(&mut cursor)? as usize;
+
+        let mut index = GzipIndex {
+            compressed_size,
+            uncompressed_size,
+            ..Default::default()
+        };
+        for _ in 0..point_count {
+            let compressed_bit_offset = read_u64(&mut cursor)?;
+            let uncompressed_offset = read_u64(&mut cursor)?;
+            let chunk_size = read_u64(&mut cursor)?;
+            let window_length = read_u32(&mut cursor)? as usize;
+            let window = data
+                .get(cursor..cursor + window_length)
+                .ok_or(IndexError::Truncated)?;
+            cursor += window_length;
+            index.add_seek_point(
+                SeekPoint {
+                    compressed_bit_offset,
+                    uncompressed_offset,
+                    uncompressed_size: chunk_size,
+                },
+                window,
+            );
+        }
+        Ok(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_index() -> GzipIndex {
+        let mut index = GzipIndex::new();
+        index.compressed_size = 1_000_000;
+        index.uncompressed_size = 3_200_000;
+        let mut uncompressed = 0u64;
+        let mut compressed = 100u64;
+        for i in 0..50u64 {
+            let window: Vec<u8> = (0..((i as usize * 131) % WINDOW_SIZE))
+                .map(|j| (j % 256) as u8)
+                .collect();
+            index.add_seek_point(
+                SeekPoint {
+                    compressed_bit_offset: compressed,
+                    uncompressed_offset: uncompressed,
+                    uncompressed_size: 64_000,
+                },
+                &window,
+            );
+            uncompressed += 64_000;
+            compressed += 20_000 + i;
+        }
+        index
+    }
+
+    #[test]
+    fn block_map_find_returns_covering_point() {
+        let index = sample_index();
+        let map = &index.block_map;
+        assert_eq!(map.find(0).unwrap().uncompressed_offset, 0);
+        assert_eq!(map.find(63_999).unwrap().uncompressed_offset, 0);
+        assert_eq!(map.find(64_000).unwrap().uncompressed_offset, 64_000);
+        assert_eq!(map.find(1_000_000).unwrap().uncompressed_offset, 960_000);
+        assert_eq!(map.find(u64::MAX).unwrap().uncompressed_offset, 49 * 64_000);
+        assert_eq!(map.uncompressed_size(), 50 * 64_000);
+    }
+
+    #[test]
+    fn block_map_lookup_by_compressed_offset() {
+        let index = sample_index();
+        let point = index.block_map.points()[3].clone();
+        assert_eq!(
+            index
+                .block_map
+                .find_by_compressed_offset(point.compressed_bit_offset),
+            Some(&point)
+        );
+        assert!(index.block_map.find_by_compressed_offset(1).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "seek points must be appended in order")]
+    fn out_of_order_seek_points_panic() {
+        let mut map = BlockMap::new();
+        map.push(SeekPoint {
+            compressed_bit_offset: 100,
+            uncompressed_offset: 100,
+            uncompressed_size: 10,
+        });
+        map.push(SeekPoint {
+            compressed_bit_offset: 50,
+            uncompressed_offset: 50,
+            uncompressed_size: 10,
+        });
+    }
+
+    #[test]
+    fn window_map_keeps_only_the_last_32_kib() {
+        let mut map = WindowMap::new();
+        let big: Vec<u8> = (0..100_000).map(|i| (i % 256) as u8).collect();
+        map.insert(42, &big);
+        let stored = map.get(42).unwrap();
+        assert_eq!(stored.len(), WINDOW_SIZE);
+        assert_eq!(&stored[..], &big[big.len() - WINDOW_SIZE..]);
+        assert!(map.contains(42));
+        assert!(!map.contains(43));
+    }
+
+    #[test]
+    fn export_import_round_trips() {
+        let index = sample_index();
+        let serialized = index.export();
+        let restored = GzipIndex::import(&serialized).unwrap();
+        assert_eq!(restored.compressed_size, index.compressed_size);
+        assert_eq!(restored.uncompressed_size, index.uncompressed_size);
+        assert_eq!(restored.block_map.points(), index.block_map.points());
+        for point in index.block_map.points() {
+            assert_eq!(
+                restored.window_map.get(point.compressed_bit_offset).as_deref(),
+                index.window_map.get(point.compressed_bit_offset).as_deref()
+            );
+        }
+    }
+
+    #[test]
+    fn import_rejects_corruption() {
+        let index = sample_index();
+        let serialized = index.export();
+        assert_eq!(GzipIndex::import(&[]).unwrap_err(), IndexError::Truncated);
+        assert_eq!(
+            GzipIndex::import(&serialized[..20]).unwrap_err(),
+            IndexError::Truncated
+        );
+        let mut bad_magic = serialized.clone();
+        bad_magic[0] = b'X';
+        assert_eq!(
+            GzipIndex::import(&bad_magic).unwrap_err(),
+            IndexError::BadMagic
+        );
+        let mut flipped = serialized.clone();
+        let position = flipped.len() / 2;
+        flipped[position] ^= 0xFF;
+        assert_eq!(
+            GzipIndex::import(&flipped).unwrap_err(),
+            IndexError::ChecksumMismatch
+        );
+        let mut bad_version = serialized.clone();
+        bad_version[8] = 99;
+        // Fixing the checksum is required for the version error to surface.
+        let body_length = bad_version.len() - 4;
+        let checksum = rgz_checksum::crc32(&bad_version[..body_length]);
+        bad_version[body_length..].copy_from_slice(&checksum.to_le_bytes());
+        assert_eq!(
+            GzipIndex::import(&bad_version).unwrap_err(),
+            IndexError::UnsupportedVersion(99)
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn export_import_preserves_arbitrary_indexes(
+            points in proptest::collection::vec((0u64..1 << 40, 1u64..1 << 20), 0..40),
+            window_seed in any::<u8>(),
+        ) {
+            let mut index = GzipIndex::new();
+            let mut compressed = 0u64;
+            let mut uncompressed = 0u64;
+            for (i, &(compressed_step, size)) in points.iter().enumerate() {
+                compressed += compressed_step % 100_000 + 1;
+                let window: Vec<u8> = (0..(i * 37) % 1000).map(|j| (j as u8) ^ window_seed).collect();
+                index.add_seek_point(
+                    SeekPoint {
+                        compressed_bit_offset: compressed,
+                        uncompressed_offset: uncompressed,
+                        uncompressed_size: size,
+                    },
+                    &window,
+                );
+                uncompressed += size;
+            }
+            index.uncompressed_size = uncompressed;
+            let restored = GzipIndex::import(&index.export()).unwrap();
+            prop_assert_eq!(restored.block_map.points(), index.block_map.points());
+            prop_assert_eq!(restored.uncompressed_size, index.uncompressed_size);
+        }
+    }
+}

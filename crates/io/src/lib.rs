@@ -1,0 +1,301 @@
+//! File-reading abstraction (§3, "FileReader" in the class diagram; §4.2,
+//! Figure 8).
+//!
+//! The parallel decompressor needs many threads to read disjoint ranges of
+//! the same compressed file concurrently.  [`FileReader`] abstracts
+//! positional reads so the rest of the system works identically on regular
+//! files ([`StandardFileReader`]), in-memory buffers ([`MemoryFileReader`])
+//! and sequential-only sources such as pipes or Python file-like objects
+//! ([`SequentialFileReader`], which serialises access behind a lock — the
+//! stand-in for the paper's `PythonFileReader`).
+//!
+//! [`SharedFileReader`] is the cheaply clonable handle handed to worker
+//! threads; its strided-read throughput is what Figure 8 measures.
+
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom};
+use std::path::Path;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+/// Positional, thread-safe read access to a compressed input.
+pub trait FileReader: Send + Sync {
+    /// Reads up to `buffer.len()` bytes starting at `offset`, returning the
+    /// number of bytes read (0 at end of file).
+    fn read_at(&self, offset: u64, buffer: &mut [u8]) -> io::Result<usize>;
+
+    /// Total size of the input in bytes.
+    fn size(&self) -> u64;
+}
+
+/// Reads exactly `length` bytes at `offset` (shorter only at end of file).
+pub fn read_range(reader: &dyn FileReader, offset: u64, length: usize) -> io::Result<Vec<u8>> {
+    let available = reader.size().saturating_sub(offset).min(length as u64) as usize;
+    let mut buffer = vec![0u8; available];
+    let mut filled = 0usize;
+    while filled < buffer.len() {
+        let read = reader.read_at(offset + filled as u64, &mut buffer[filled..])?;
+        if read == 0 {
+            break;
+        }
+        filled += read;
+    }
+    buffer.truncate(filled);
+    Ok(buffer)
+}
+
+// --- in-memory ---------------------------------------------------------------
+
+/// A [`FileReader`] over an in-memory buffer.
+#[derive(Debug, Clone)]
+pub struct MemoryFileReader {
+    data: Bytes,
+}
+
+impl MemoryFileReader {
+    /// Wraps a buffer.
+    pub fn new(data: impl Into<Bytes>) -> Self {
+        Self { data: data.into() }
+    }
+
+    /// Borrow the underlying bytes.
+    pub fn bytes(&self) -> &Bytes {
+        &self.data
+    }
+}
+
+impl FileReader for MemoryFileReader {
+    fn read_at(&self, offset: u64, buffer: &mut [u8]) -> io::Result<usize> {
+        if offset >= self.data.len() as u64 {
+            return Ok(0);
+        }
+        let start = offset as usize;
+        let length = buffer.len().min(self.data.len() - start);
+        buffer[..length].copy_from_slice(&self.data[start..start + length]);
+        Ok(length)
+    }
+
+    fn size(&self) -> u64 {
+        self.data.len() as u64
+    }
+}
+
+// --- regular files -----------------------------------------------------------
+
+/// A [`FileReader`] over a regular file using positional reads (`pread`), so
+/// that all threads can share one file descriptor without seeking.
+#[derive(Debug)]
+pub struct StandardFileReader {
+    file: File,
+    size: u64,
+}
+
+impl StandardFileReader {
+    /// Opens `path` for shared positional reading.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = File::open(path)?;
+        let size = file.metadata()?.len();
+        Ok(Self { file, size })
+    }
+
+    /// Wraps an already opened file.
+    pub fn from_file(file: File) -> io::Result<Self> {
+        let size = file.metadata()?.len();
+        Ok(Self { file, size })
+    }
+}
+
+impl FileReader for StandardFileReader {
+    #[cfg(unix)]
+    fn read_at(&self, offset: u64, buffer: &mut [u8]) -> io::Result<usize> {
+        use std::os::unix::fs::FileExt;
+        self.file.read_at(buffer, offset)
+    }
+
+    #[cfg(not(unix))]
+    fn read_at(&self, offset: u64, buffer: &mut [u8]) -> io::Result<usize> {
+        use std::io::Read;
+        let mut clone = self.file.try_clone()?;
+        clone.seek(SeekFrom::Start(offset))?;
+        clone.read(buffer)
+    }
+
+    fn size(&self) -> u64 {
+        self.size
+    }
+}
+
+// --- sequential sources ------------------------------------------------------
+
+/// Adapts a sequential `Read + Seek` source (a pipe buffered to a temporary
+/// file, a Python file-like object, …) to the positional [`FileReader`]
+/// interface by serialising access behind a mutex.
+pub struct SequentialFileReader<R> {
+    inner: Mutex<R>,
+    size: u64,
+}
+
+impl<R: Read + Seek + Send> SequentialFileReader<R> {
+    /// Wraps a seekable sequential reader.
+    pub fn new(mut inner: R) -> io::Result<Self> {
+        let size = inner.seek(SeekFrom::End(0))?;
+        inner.seek(SeekFrom::Start(0))?;
+        Ok(Self {
+            inner: Mutex::new(inner),
+            size,
+        })
+    }
+}
+
+impl<R: Read + Seek + Send> FileReader for SequentialFileReader<R> {
+    fn read_at(&self, offset: u64, buffer: &mut [u8]) -> io::Result<usize> {
+        let mut guard = self.inner.lock();
+        guard.seek(SeekFrom::Start(offset))?;
+        guard.read(buffer)
+    }
+
+    fn size(&self) -> u64 {
+        self.size
+    }
+}
+
+// --- shared handle -----------------------------------------------------------
+
+/// A cheaply clonable, thread-safe handle to any [`FileReader`].
+#[derive(Clone)]
+pub struct SharedFileReader {
+    inner: Arc<dyn FileReader>,
+}
+
+impl std::fmt::Debug for SharedFileReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedFileReader")
+            .field("size", &self.size())
+            .finish()
+    }
+}
+
+impl SharedFileReader {
+    /// Wraps any reader implementation.
+    pub fn new(reader: impl FileReader + 'static) -> Self {
+        Self {
+            inner: Arc::new(reader),
+        }
+    }
+
+    /// Wraps an in-memory buffer.
+    pub fn from_bytes(data: impl Into<Bytes>) -> Self {
+        Self::new(MemoryFileReader::new(data))
+    }
+
+    /// Opens a file from a path.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Self::new(StandardFileReader::open(path)?))
+    }
+
+    /// Reads exactly the requested range (shorter only at end of file).
+    pub fn read_range(&self, offset: u64, length: usize) -> io::Result<Vec<u8>> {
+        read_range(self.inner.as_ref(), offset, length)
+    }
+}
+
+impl FileReader for SharedFileReader {
+    fn read_at(&self, offset: u64, buffer: &mut [u8]) -> io::Result<usize> {
+        self.inner.read_at(offset, buffer)
+    }
+
+    fn size(&self) -> u64 {
+        self.inner.size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn sample_data(length: usize) -> Vec<u8> {
+        (0..length).map(|i| (i % 251) as u8).collect()
+    }
+
+    #[test]
+    fn memory_reader_reads_ranges_and_clamps_at_eof() {
+        let data = sample_data(1000);
+        let reader = MemoryFileReader::new(data.clone());
+        assert_eq!(reader.size(), 1000);
+        let mut buffer = [0u8; 16];
+        assert_eq!(reader.read_at(0, &mut buffer).unwrap(), 16);
+        assert_eq!(&buffer[..], &data[..16]);
+        assert_eq!(reader.read_at(995, &mut buffer).unwrap(), 5);
+        assert_eq!(&buffer[..5], &data[995..]);
+        assert_eq!(reader.read_at(1000, &mut buffer).unwrap(), 0);
+        assert_eq!(reader.read_at(5000, &mut buffer).unwrap(), 0);
+    }
+
+    #[test]
+    fn read_range_helper_is_exact() {
+        let data = sample_data(10_000);
+        let reader = SharedFileReader::from_bytes(data.clone());
+        assert_eq!(reader.read_range(100, 256).unwrap(), &data[100..356]);
+        assert_eq!(reader.read_range(9990, 100).unwrap(), &data[9990..]);
+        assert_eq!(reader.read_range(20_000, 10).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn standard_file_reader_reads_files() {
+        let data = sample_data(64 * 1024);
+        let path = std::env::temp_dir().join(format!("rgz_io_test_{}.bin", std::process::id()));
+        std::fs::write(&path, &data).unwrap();
+        let reader = SharedFileReader::open(&path).unwrap();
+        assert_eq!(reader.size(), data.len() as u64);
+        assert_eq!(reader.read_range(1234, 4096).unwrap(), &data[1234..1234 + 4096]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sequential_reader_serialises_positional_access() {
+        let data = sample_data(8192);
+        let reader = SequentialFileReader::new(Cursor::new(data.clone())).unwrap();
+        assert_eq!(reader.size(), 8192);
+        let mut buffer = [0u8; 128];
+        assert_eq!(reader.read_at(4000, &mut buffer).unwrap(), 128);
+        assert_eq!(&buffer[..], &data[4000..4128]);
+        assert_eq!(reader.read_at(0, &mut buffer).unwrap(), 128);
+        assert_eq!(&buffer[..], &data[..128]);
+    }
+
+    #[test]
+    fn shared_reader_supports_concurrent_strided_reads() {
+        // A miniature version of the Figure 8 access pattern: N threads read
+        // interleaved 4 KiB stripes of the same in-memory file.
+        let data = sample_data(1 << 20);
+        let reader = SharedFileReader::from_bytes(data.clone());
+        let threads = 8usize;
+        let stripe = 4096usize;
+        let results: Vec<bool> = std::thread::scope(|scope| {
+            (0..threads)
+                .map(|thread_index| {
+                    let reader = reader.clone();
+                    let data = &data;
+                    scope.spawn(move || {
+                        let mut offset = thread_index * stripe;
+                        while offset < data.len() {
+                            let chunk = reader.read_range(offset as u64, stripe).unwrap();
+                            if chunk != data[offset..(offset + stripe).min(data.len())] {
+                                return false;
+                            }
+                            offset += stripe * threads;
+                        }
+                        true
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|handle| handle.join().unwrap())
+                .collect()
+        });
+        assert!(results.into_iter().all(|ok| ok));
+    }
+}

@@ -1,0 +1,40 @@
+//! Quickstart: compress a payload with the pure-Rust gzip writer and
+//! decompress it in parallel with `ParallelGzipReader`.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use std::io::Read;
+
+use rapidgzip_suite::core::{ParallelGzipReader, ParallelGzipReaderOptions};
+use rapidgzip_suite::datagen;
+use rapidgzip_suite::gzip::GzipWriter;
+
+fn main() {
+    // 16 MiB of a Silesia-like mixed corpus.
+    let data = datagen::silesia_like(16 << 20, 1);
+    println!("original size      : {:>12} bytes", data.len());
+
+    let compressed = GzipWriter::default().compress(&data);
+    println!("compressed size    : {:>12} bytes (ratio {:.2})", compressed.len(),
+             data.len() as f64 / compressed.len() as f64);
+
+    // Parallel decompression with all cores; chunk size 512 KiB.
+    let options = ParallelGzipReaderOptions::default().with_chunk_size(512 * 1024);
+    let start = std::time::Instant::now();
+    let mut reader = ParallelGzipReader::from_bytes(compressed, options).unwrap();
+    let mut restored = Vec::new();
+    reader.read_to_end(&mut restored).unwrap();
+    let elapsed = start.elapsed();
+
+    assert_eq!(restored, data);
+    println!(
+        "parallel decompress: {:>12} bytes in {:.3} s ({:.1} MB/s, {} threads)",
+        restored.len(),
+        elapsed.as_secs_f64(),
+        restored.len() as f64 / 1e6 / elapsed.as_secs_f64(),
+        reader.options().parallelization,
+    );
+    let statistics = reader.statistics();
+    println!("speculative chunks used: {}", statistics.speculative_chunks_used);
+    println!("on-demand chunks       : {}", statistics.on_demand_chunks);
+}

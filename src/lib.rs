@@ -1,0 +1,14 @@
+//! Umbrella crate that re-exports the public API of the rapidgzip-rs
+//! reproduction for use by the workspace examples and integration tests.
+pub use rgz_baselines as baselines;
+pub use rgz_bitio as bitio;
+pub use rgz_blockfinder as blockfinder;
+pub use rgz_checksum as checksum;
+pub use rgz_core as core;
+pub use rgz_datagen as datagen;
+pub use rgz_deflate as deflate;
+pub use rgz_fetcher as fetcher;
+pub use rgz_gzip as gzip;
+pub use rgz_huffman as huffman;
+pub use rgz_index as index;
+pub use rgz_io as io;

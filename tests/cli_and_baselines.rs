@@ -1,0 +1,81 @@
+//! Integration tests for the baselines and failure handling across crates.
+
+use rapidgzip_suite::baselines::{
+    decompress_bgzf_parallel, FramezipDecompressor, FramezipWriter, PugzDecompressor,
+};
+use rapidgzip_suite::core::{ParallelGzipReader, ParallelGzipReaderOptions};
+use rapidgzip_suite::datagen;
+use rapidgzip_suite::gzip::{BgzfWriter, GzipWriter};
+
+#[test]
+fn all_decompressors_agree_on_fastq_data() {
+    let data = datagen::fastq_of_size(800_000, 30);
+    let gzip_file = GzipWriter::default().compress_pigz_like(&data, 64 * 1024);
+    let bgzf_file = BgzfWriter::default().compress(&data);
+    let framezip_file = FramezipWriter::default().compress_multi_frame(&data, 128 * 1024);
+
+    let mut rapid = ParallelGzipReader::from_bytes(
+        gzip_file.clone(),
+        ParallelGzipReaderOptions {
+            parallelization: 4,
+            chunk_size: 64 * 1024,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(rapid.decompress_all().unwrap(), data);
+
+    let pugz = PugzDecompressor { threads: 4, chunk_size: 64 * 1024, synchronized: true };
+    assert_eq!(pugz.decompress(&gzip_file).unwrap(), data);
+
+    assert_eq!(decompress_bgzf_parallel(&bgzf_file, 4).unwrap(), data);
+    assert_eq!(FramezipDecompressor { threads: 4 }.decompress(&framezip_file).unwrap(), data);
+}
+
+#[test]
+fn pugz_rejects_what_rapidgzip_accepts() {
+    // The generalisation claim of the paper in one test: binary data is fine
+    // for rapidgzip, rejected by the pugz baseline.
+    let data = datagen::silesia_like(900_000, 31);
+    let compressed = GzipWriter::default().compress_pigz_like(&data, 64 * 1024);
+
+    let mut rapid = ParallelGzipReader::from_bytes(
+        compressed.clone(),
+        ParallelGzipReaderOptions {
+            parallelization: 4,
+            chunk_size: 64 * 1024,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(rapid.decompress_all().unwrap(), data);
+
+    let pugz = PugzDecompressor { threads: 4, chunk_size: 64 * 1024, synchronized: true };
+    assert!(pugz.decompress(&compressed).is_err());
+}
+
+#[test]
+fn framezip_single_frame_cannot_be_split_but_still_decodes() {
+    let data = datagen::silesia_like(400_000, 32);
+    let single = FramezipWriter::default().compress_single_frame(&data);
+    assert_eq!(FramezipDecompressor::frame_count(&single).unwrap(), 1);
+    assert_eq!(FramezipDecompressor { threads: 8 }.decompress(&single).unwrap(), data);
+}
+
+#[test]
+fn truncated_and_garbage_inputs_error_cleanly() {
+    let data = datagen::base64_random(300_000, 33);
+    let compressed = GzipWriter::default().compress(&data);
+    for bad in [
+        &compressed[..10],
+        &compressed[..compressed.len() / 3],
+        b"this is not gzip data at all".as_slice(),
+    ] {
+        let mut reader = ParallelGzipReader::from_bytes(
+            bad.to_vec(),
+            ParallelGzipReaderOptions::with_parallelization(2),
+        )
+        .unwrap();
+        assert!(reader.decompress_all().is_err());
+    }
+}

@@ -1,0 +1,89 @@
+//! Cross-crate integration tests: the parallel reader must reproduce the
+//! serial decoder bit-for-bit on every kind of gzip file the compressor
+//! front-ends can produce.
+
+use std::io::Read;
+
+use rapidgzip_suite::core::{ParallelGzipReader, ParallelGzipReaderOptions};
+use rapidgzip_suite::datagen;
+use rapidgzip_suite::gzip::{decompress, CompressorFrontend, FrontendKind, GzipWriter};
+
+fn options(threads: usize, chunk_size: usize) -> ParallelGzipReaderOptions {
+    ParallelGzipReaderOptions {
+        parallelization: threads,
+        chunk_size,
+        ..Default::default()
+    }
+}
+
+fn parallel(compressed: &[u8], threads: usize, chunk_size: usize) -> Vec<u8> {
+    let mut reader =
+        ParallelGzipReader::from_bytes(compressed.to_vec(), options(threads, chunk_size)).unwrap();
+    let mut out = Vec::new();
+    reader.read_to_end(&mut out).unwrap();
+    out
+}
+
+#[test]
+fn every_frontend_and_corpus_combination_round_trips() {
+    let corpora: Vec<(&str, Vec<u8>)> = vec![
+        ("base64", datagen::base64_random(900_000, 1)),
+        ("silesia", datagen::silesia_like(900_000, 2)),
+        ("fastq", datagen::fastq_of_size(900_000, 3)),
+    ];
+    for (corpus_name, data) in &corpora {
+        for kind in FrontendKind::all() {
+            for level in [1u8, 6] {
+                let frontend = CompressorFrontend::new(kind, level);
+                let compressed = frontend.compress(data);
+                let serial = decompress(&compressed).unwrap();
+                assert_eq!(&serial, data, "serial {corpus_name} {}", frontend.label());
+                let parallel_output = parallel(&compressed, 4, 64 * 1024);
+                assert_eq!(&parallel_output, data, "parallel {corpus_name} {}", frontend.label());
+            }
+        }
+    }
+}
+
+#[test]
+fn pathological_single_block_and_stored_files() {
+    let data = datagen::silesia_like(700_000, 4);
+    for frontend in [
+        CompressorFrontend::new(FrontendKind::Igzip, 0),
+        CompressorFrontend::new(FrontendKind::Bgzf, 0),
+    ] {
+        let compressed = frontend.compress(&data);
+        assert_eq!(parallel(&compressed, 4, 32 * 1024), data, "{}", frontend.label());
+    }
+}
+
+#[test]
+fn multi_member_concatenated_files() {
+    let writer = GzipWriter::default();
+    let parts = [
+        datagen::base64_random(300_000, 5),
+        datagen::silesia_like(400_000, 6),
+        Vec::new(),
+        datagen::fastq_of_size(200_000, 7),
+    ];
+    let refs: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
+    let compressed = writer.compress_members(&refs);
+    let expected: Vec<u8> = parts.concat();
+    assert_eq!(parallel(&compressed, 4, 64 * 1024), expected);
+    assert_eq!(decompress(&compressed).unwrap(), expected);
+}
+
+#[test]
+fn thread_and_chunk_size_sweep() {
+    let data = datagen::silesia_like(1_200_000, 8);
+    let compressed = GzipWriter::default().compress_pigz_like(&data, 64 * 1024);
+    for threads in [1usize, 2, 8] {
+        for chunk_size in [16 * 1024usize, 128 * 1024, 4 << 20] {
+            assert_eq!(
+                parallel(&compressed, threads, chunk_size),
+                data,
+                "threads {threads} chunk {chunk_size}"
+            );
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Integration tests for seeking, index reuse, and concurrent access from
+//! multiple offsets.
+
+use std::io::{Read, Seek, SeekFrom};
+
+use rapidgzip_suite::core::{ParallelGzipReader, ParallelGzipReaderOptions};
+use rapidgzip_suite::datagen;
+use rapidgzip_suite::gzip::GzipWriter;
+use rapidgzip_suite::index::GzipIndex;
+use rapidgzip_suite::io::SharedFileReader;
+
+fn options() -> ParallelGzipReaderOptions {
+    ParallelGzipReaderOptions {
+        parallelization: 4,
+        chunk_size: 64 * 1024,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn seeks_are_equivalent_to_skipping() {
+    let data = datagen::silesia_like(1_500_000, 20);
+    let compressed = GzipWriter::default().compress(&data);
+    let mut reader = ParallelGzipReader::from_bytes(compressed, options()).unwrap();
+    let mut buffer = vec![0u8; 8192];
+    for &offset in &[0u64, 1, 65_535, 65_536, 777_777, 1_400_000] {
+        reader.seek(SeekFrom::Start(offset)).unwrap();
+        reader.read_exact(&mut buffer).unwrap();
+        assert_eq!(&buffer[..], &data[offset as usize..offset as usize + buffer.len()]);
+    }
+    // Backwards seek after reading forward.
+    reader.seek(SeekFrom::Start(10)).unwrap();
+    reader.read_exact(&mut buffer[..16]).unwrap();
+    assert_eq!(&buffer[..16], &data[10..26]);
+    // Relative and end-anchored seeks.
+    let position = reader.seek(SeekFrom::Current(-8)).unwrap();
+    assert_eq!(position, 18);
+    let position = reader.seek(SeekFrom::End(-100)).unwrap();
+    assert_eq!(position, data.len() as u64 - 100);
+    let mut tail = Vec::new();
+    reader.read_to_end(&mut tail).unwrap();
+    assert_eq!(&tail, &data[data.len() - 100..]);
+}
+
+#[test]
+fn exported_index_survives_a_round_trip_to_disk() {
+    let data = datagen::fastq_of_size(1_000_000, 21);
+    let compressed = GzipWriter::default().compress(&data);
+    let shared = SharedFileReader::from_bytes(compressed);
+
+    let mut builder = ParallelGzipReader::new(shared.clone(), options()).unwrap();
+    let index = builder.build_full_index().unwrap();
+    let path = std::env::temp_dir().join(format!("rgz_index_{}.rgzidx", std::process::id()));
+    std::fs::write(&path, index.export()).unwrap();
+
+    let imported = GzipIndex::import(&std::fs::read(&path).unwrap()).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(imported.block_map.len(), index.block_map.len());
+
+    let mut reader = ParallelGzipReader::with_index(shared, options(), imported).unwrap();
+    assert_eq!(reader.uncompressed_size(), Some(data.len() as u64));
+    let mut buffer = vec![0u8; 4096];
+    reader.seek(SeekFrom::Start(500_000)).unwrap();
+    reader.read_exact(&mut buffer).unwrap();
+    assert_eq!(&buffer[..], &data[500_000..504_096]);
+    assert_eq!(reader.decompress_all().unwrap(), data);
+}
+
+#[test]
+fn concurrent_access_at_two_offsets_through_clones_of_the_file() {
+    // Two independent readers over the same compressed bytes, used from two
+    // threads at different offsets (the ratarmount access pattern).
+    let data = datagen::silesia_like(2_000_000, 22);
+    let compressed = GzipWriter::default().compress(&data);
+    let shared = SharedFileReader::from_bytes(compressed);
+    std::thread::scope(|scope| {
+        for (start, length) in [(100_000usize, 50_000usize), (1_500_000, 80_000)] {
+            let shared = shared.clone();
+            let data = &data;
+            scope.spawn(move || {
+                let mut reader = ParallelGzipReader::new(shared, options()).unwrap();
+                reader.seek(SeekFrom::Start(start as u64)).unwrap();
+                let mut buffer = vec![0u8; length];
+                reader.read_exact(&mut buffer).unwrap();
+                assert_eq!(&buffer[..], &data[start..start + length]);
+            });
+        }
+    });
+}
