@@ -84,6 +84,9 @@ mod tests {
     #[test]
     fn empty_payload_works() {
         let compressed = BgzfWriter::default().compress(&[]);
-        assert_eq!(decompress_bgzf_parallel(&compressed, 4).unwrap(), Vec::<u8>::new());
+        assert_eq!(
+            decompress_bgzf_parallel(&compressed, 4).unwrap(),
+            Vec::<u8>::new()
+        );
     }
 }

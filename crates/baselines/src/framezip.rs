@@ -44,7 +44,10 @@ impl std::fmt::Display for FramezipError {
             FramezipError::BadFrame { offset } => write!(f, "malformed frame at byte {offset}"),
             FramezipError::Deflate(e) => write!(f, "frame payload error: {e}"),
             FramezipError::SizeMismatch { expected, actual } => {
-                write!(f, "frame decompressed to {actual} bytes, expected {expected}")
+                write!(
+                    f,
+                    "frame decompressed to {actual} bytes, expected {expected}"
+                )
             }
         }
     }
@@ -59,17 +62,9 @@ impl From<DeflateError> for FramezipError {
 }
 
 /// Writes framezip files.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct FramezipWriter {
     options: CompressorOptions,
-}
-
-impl Default for FramezipWriter {
-    fn default() -> Self {
-        Self {
-            options: CompressorOptions::default(),
-        }
-    }
 }
 
 impl FramezipWriter {
@@ -144,8 +139,7 @@ impl FramezipDecompressor {
             if &header[..2] != FRAME_MAGIC {
                 return Err(FramezipError::BadFrame { offset });
             }
-            let compressed_size =
-                u32::from_le_bytes(header[2..6].try_into().unwrap()) as usize;
+            let compressed_size = u32::from_le_bytes(header[2..6].try_into().unwrap()) as usize;
             let uncompressed_size = u32::from_le_bytes(header[6..10].try_into().unwrap());
             let payload_start = offset + 10;
             if payload_start + compressed_size > data.len() {
@@ -230,7 +224,9 @@ mod tests {
         let data = silesia_like(800_000, 40);
         let compressed = FramezipWriter::default().compress_single_frame(&data);
         assert_eq!(FramezipDecompressor::frame_count(&compressed).unwrap(), 1);
-        let restored = FramezipDecompressor { threads: 8 }.decompress(&compressed).unwrap();
+        let restored = FramezipDecompressor { threads: 8 }
+            .decompress(&compressed)
+            .unwrap();
         assert_eq!(restored, data);
     }
 
@@ -241,7 +237,9 @@ mod tests {
         let frames = FramezipDecompressor::frame_count(&compressed).unwrap();
         assert_eq!(frames, data.len().div_ceil(128 * 1024));
         for threads in [1, 2, 8] {
-            let restored = FramezipDecompressor { threads }.decompress(&compressed).unwrap();
+            let restored = FramezipDecompressor { threads }
+                .decompress(&compressed)
+                .unwrap();
             assert_eq!(restored, data, "threads = {threads}");
         }
     }
@@ -250,7 +248,9 @@ mod tests {
     fn empty_input_round_trips() {
         let compressed = FramezipWriter::default().compress_multi_frame(&[], 1024);
         assert_eq!(
-            FramezipDecompressor::default().decompress(&compressed).unwrap(),
+            FramezipDecompressor::default()
+                .decompress(&compressed)
+                .unwrap(),
             Vec::<u8>::new()
         );
     }
@@ -271,6 +271,8 @@ mod tests {
         ));
         let mut flipped = compressed.clone();
         flipped[5] ^= 0xFF; // inside the first frame header
-        assert!(FramezipDecompressor::default().decompress(&flipped).is_err());
+        assert!(FramezipDecompressor::default()
+            .decompress(&flipped)
+            .is_err());
     }
 }

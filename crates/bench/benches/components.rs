@@ -3,7 +3,9 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rgz_blockfinder::{BlockFinder, CustomParseFinder, DynamicBlockFinder, UncompressedBlockFinder};
+use rgz_blockfinder::{
+    BlockFinder, CustomParseFinder, DynamicBlockFinder, UncompressedBlockFinder,
+};
 use rgz_deflate::{replace_markers, MARKER_BASE};
 
 fn scan(finder: &dyn BlockFinder, data: &[u8]) -> u64 {
@@ -23,14 +25,26 @@ fn bench_components(c: &mut Criterion) {
     let mut group = c.benchmark_group("block_finders");
     group.throughput(Throughput::Bytes(random.len() as u64));
     group.sample_size(10);
-    group.bench_function("dbf_custom_parse", |b| b.iter(|| scan(&CustomParseFinder, &random)));
-    group.bench_function("dbf_rapidgzip", |b| b.iter(|| scan(&DynamicBlockFinder::new(), &random)));
-    group.bench_function("nbf", |b| b.iter(|| scan(&UncompressedBlockFinder::new(), &random)));
+    group.bench_function("dbf_custom_parse", |b| {
+        b.iter(|| scan(&CustomParseFinder, &random))
+    });
+    group.bench_function("dbf_rapidgzip", |b| {
+        b.iter(|| scan(&DynamicBlockFinder::new(), &random))
+    });
+    group.bench_function("nbf", |b| {
+        b.iter(|| scan(&UncompressedBlockFinder::new(), &random))
+    });
     group.finish();
 
     let window: Vec<u8> = (0..32 * 1024).map(|i| (i % 251) as u8).collect();
     let symbols: Vec<u16> = (0..4 << 20)
-        .map(|i| if i % 5 == 0 { MARKER_BASE + (i % 32768) as u16 } else { (i % 256) as u16 })
+        .map(|i| {
+            if i % 5 == 0 {
+                MARKER_BASE + (i % 32768) as u16
+            } else {
+                (i % 256) as u16
+            }
+        })
         .collect();
     let mut group = c.benchmark_group("marker_replacement");
     group.throughput(Throughput::Bytes(symbols.len() as u64));

@@ -6,7 +6,9 @@ use rgz_core::{ParallelGzipReader, ParallelGzipReaderOptions};
 use rgz_io::SharedFileReader;
 
 fn bench_decompression(c: &mut Criterion) {
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let data = rgz_datagen::silesia_like(8 << 20, 77);
     let compressed = rgz_gzip::GzipWriter::default().compress_pigz_like(&data, 128 * 1024);
     let shared = SharedFileReader::from_bytes(compressed.clone());

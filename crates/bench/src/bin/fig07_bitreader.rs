@@ -22,6 +22,10 @@ fn main() {
             }
             checksum
         });
-        println!("{:>12} {:>16.1}", bits, bandwidth_mb_per_s(data.len(), duration));
+        println!(
+            "{:>12} {:>16.1}",
+            bits,
+            bandwidth_mb_per_s(data.len(), duration)
+        );
     }
 }

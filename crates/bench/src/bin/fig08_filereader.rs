@@ -30,6 +30,10 @@ fn main() {
                 }
             });
         });
-        println!("{:>8} {:>16.1}", threads, bandwidth_mb_per_s(size, duration));
+        println!(
+            "{:>8} {:>16.1}",
+            threads,
+            bandwidth_mb_per_s(size, duration)
+        );
     }
 }

@@ -8,9 +8,8 @@ fn scaling_run(kind: &str, make_data: fn(usize, u64) -> Vec<u8>, include_pugz: b
     let per_core = scaled(8 << 20, 1 << 20);
     let chunk_size = scaled(512 * 1024, 128 * 1024);
     println!(
-        "{:<28} {}",
-        "series",
-        "cores:bandwidth-MB/s pairs (uncompressed bandwidth)"
+        "{:<28} cores:bandwidth-MB/s pairs (uncompressed bandwidth)",
+        "series"
     );
 
     // Single-threaded baselines, measured once on the single-core corpus.
@@ -18,7 +17,10 @@ fn scaling_run(kind: &str, make_data: fn(usize, u64) -> Vec<u8>, include_pugz: b
     let compressed1 = rgz_gzip::GzipWriter::default().compress_pigz_like(&data1, 128 * 1024);
     let (out, duration) = best_of(|| rgz_gzip::decompress(&compressed1).unwrap());
     assert_eq!(out.len(), data1.len());
-    print_series_row("gzip (serial baseline)", &[(1, bandwidth_mb_per_s(data1.len(), duration))]);
+    print_series_row(
+        "gzip (serial baseline)",
+        &[(1, bandwidth_mb_per_s(data1.len(), duration))],
+    );
 
     let mut rapid_no_index = Vec::new();
     let mut rapid_index = Vec::new();

@@ -15,7 +15,10 @@ fn main() {
     let data1 = rgz_datagen::fastq_of_size(per_core, 1);
     let compressed1 = rgz_gzip::GzipWriter::default().compress_pigz_like(&data1, 128 * 1024);
     let (_, duration) = best_of(|| rgz_gzip::decompress(&compressed1).unwrap());
-    print_series_row("gzip (serial baseline)", &[(1, bandwidth_mb_per_s(data1.len(), duration))]);
+    print_series_row(
+        "gzip (serial baseline)",
+        &[(1, bandwidth_mb_per_s(data1.len(), duration))],
+    );
 
     let mut rapid_no_index = Vec::new();
     let mut rapid_index = Vec::new();

@@ -22,13 +22,23 @@ fn main() {
     let shared = SharedFileReader::from_bytes(compressed.clone());
 
     let chunk_sizes: Vec<usize> = [
-        64usize << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20, 8 << 20,
+        64usize << 10,
+        128 << 10,
+        256 << 10,
+        512 << 10,
+        1 << 20,
+        2 << 20,
+        4 << 20,
+        8 << 20,
     ]
     .into_iter()
     .filter(|&size| size <= compressed.len())
     .collect();
 
-    println!("{:>12} {:>18} {:>18} {:>12}", "chunk size", "rapidgzip MB/s", "pugz MB/s", "chunks");
+    println!(
+        "{:>12} {:>18} {:>18} {:>12}",
+        "chunk size", "rapidgzip MB/s", "pugz MB/s", "chunks"
+    );
     for &chunk_size in &chunk_sizes {
         let options = ParallelGzipReaderOptions {
             parallelization: cores,

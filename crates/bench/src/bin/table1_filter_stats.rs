@@ -30,7 +30,10 @@ fn main() {
         duration.as_secs_f64(),
         bandwidth_mb_per_s(data.len(), duration)
     );
-    println!("{:<32} {:>16} {:>20}", "filter", "count", "per 1e12 positions");
+    println!(
+        "{:<32} {:>16} {:>20}",
+        "filter", "count", "per 1e12 positions"
+    );
     for (label, count) in statistics.rows() {
         let normalised = count as f64 * 1e12 / tested as f64;
         println!("{label:<32} {count:>16} {normalised:>20.1}");

@@ -15,7 +15,10 @@ fn main() {
     let total = scaled(128 << 20, 8 << 20);
     let data = rgz_datagen::silesia_like(total, 13);
     println!("# corpus {} MB, {} cores", data.len() / 1_000_000, cores);
-    println!("{:<14} {:>12} {:>18}", "compressor", "compr. ratio", "bandwidth MB/s");
+    println!(
+        "{:<14} {:>12} {:>18}",
+        "compressor", "compr. ratio", "bandwidth MB/s"
+    );
 
     let frontends = [
         (FrontendKind::Bgzf, 0u8),

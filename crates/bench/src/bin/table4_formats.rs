@@ -53,7 +53,13 @@ fn main() {
             let mut reader = ParallelGzipReader::new(shared.clone(), options.clone()).unwrap();
             assert_eq!(reader.decompress_all().unwrap().len(), data.len());
         });
-        row("gzip", &gzip_file, "rapidgzip", p, bandwidth_mb_per_s(data.len(), duration));
+        row(
+            "gzip",
+            &gzip_file,
+            "rapidgzip",
+            p,
+            bandwidth_mb_per_s(data.len(), duration),
+        );
 
         let mut builder = ParallelGzipReader::new(shared.clone(), options.clone()).unwrap();
         let index = builder.build_full_index().unwrap();
@@ -63,27 +69,57 @@ fn main() {
                     .unwrap();
             assert_eq!(reader.decompress_all().unwrap().len(), data.len());
         });
-        row("gzip", &gzip_file, "rapidgzip (index)", p, bandwidth_mb_per_s(data.len(), duration));
+        row(
+            "gzip",
+            &gzip_file,
+            "rapidgzip (index)",
+            p,
+            bandwidth_mb_per_s(data.len(), duration),
+        );
 
         // Serial gzip baseline (only meaningful at P = 1, constant otherwise).
         if p == 1 {
             let (_, duration) = best_of(|| rgz_gzip::decompress(&gzip_file).unwrap());
-            row("gzip", &gzip_file, "gzip (serial)", 1, bandwidth_mb_per_s(data.len(), duration));
+            row(
+                "gzip",
+                &gzip_file,
+                "gzip (serial)",
+                1,
+                bandwidth_mb_per_s(data.len(), duration),
+            );
         }
 
         // BGZF decompressed by the bgzip-style parallel decoder.
         let (_, duration) = best_of(|| decompress_bgzf_parallel(&bgzf_file, p).unwrap());
-        row("bgzf", &bgzf_file, "bgzip", p, bandwidth_mb_per_s(data.len(), duration));
+        row(
+            "bgzf",
+            &bgzf_file,
+            "bgzip",
+            p,
+            bandwidth_mb_per_s(data.len(), duration),
+        );
 
         // framezip single frame (zstd-like): parallelism cannot help.
         let single = FramezipDecompressor { threads: p };
         let (_, duration) = best_of(|| single.decompress(&framezip_single).unwrap());
-        row("zstd*", &framezip_single, "pzstd (single frame)", p, bandwidth_mb_per_s(data.len(), duration));
+        row(
+            "zstd*",
+            &framezip_single,
+            "pzstd (single frame)",
+            p,
+            bandwidth_mb_per_s(data.len(), duration),
+        );
 
         // framezip multi frame (pzstd-like): parallelism helps.
         let multi = FramezipDecompressor { threads: p };
         let (_, duration) = best_of(|| multi.decompress(&framezip_multi).unwrap());
-        row("pzstd*", &framezip_multi, "pzstd (multi frame)", p, bandwidth_mb_per_s(data.len(), duration));
+        row(
+            "pzstd*",
+            &framezip_multi,
+            "pzstd (multi frame)",
+            p,
+            bandwidth_mb_per_s(data.len(), duration),
+        );
     }
     println!("# * framezip stand-in for Zstandard (see DESIGN.md, substitutions)");
 }

@@ -13,7 +13,9 @@ use std::time::{Duration, Instant};
 /// Returns true when the caller asked for CI-sized benchmarks.
 pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")
-        || std::env::var("RGZ_BENCH_QUICK").map(|v| v != "0").unwrap_or(false)
+        || std::env::var("RGZ_BENCH_QUICK")
+            .map(|v| v != "0")
+            .unwrap_or(false)
 }
 
 /// Picks `full` or `quick` depending on [`quick_mode`].
@@ -36,7 +38,9 @@ pub fn repetitions() -> usize {
 
 /// Available logical cores.
 pub fn available_cores() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
 }
 
 /// The list of core counts to sweep (1, 2, 4, … up to the machine size),

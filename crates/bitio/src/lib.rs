@@ -51,10 +51,16 @@ impl std::fmt::Display for BitIoError {
                  {available} available"
             ),
             BitIoError::TooManyBits(n) => {
-                write!(f, "requested {n} bits in one call, maximum is {MAX_BITS_PER_READ}")
+                write!(
+                    f,
+                    "requested {n} bits in one call, maximum is {MAX_BITS_PER_READ}"
+                )
             }
             BitIoError::SeekOutOfBounds { target, size } => {
-                write!(f, "seek to bit {target} is beyond the input size of {size} bits")
+                write!(
+                    f,
+                    "seek to bit {target} is beyond the input size of {size} bits"
+                )
             }
         }
     }

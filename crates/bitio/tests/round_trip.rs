@@ -1,0 +1,125 @@
+//! Writer/reader round-trips across every supported bit width and the
+//! byte-alignment edge cases.
+
+use rgz_bitio::{low_bit_mask, BitIoError, BitReader, BitWriter, MAX_BITS_PER_READ};
+
+/// Writes `count` low bits of `value`, splitting calls wider than the
+/// writer's 56-bit-per-call limit.
+fn write_wide(writer: &mut BitWriter, value: u64, count: u32) {
+    if count <= 56 {
+        writer.write_bits(value, count);
+    } else {
+        writer.write_bits(value, 56);
+        writer.write_bits(value >> 56, count - 56);
+    }
+}
+
+#[test]
+fn round_trip_every_width_1_to_57() {
+    // A fixed pattern with bits set at both ends so truncation errors show.
+    let patterns = [u64::MAX, 0xA5A5_A5A5_A5A5_A5A5, 1, 0x8000_0000_0000_0001];
+    for width in 1..=MAX_BITS_PER_READ {
+        let mut writer = BitWriter::new();
+        for &pattern in &patterns {
+            write_wide(&mut writer, pattern, width);
+        }
+        let bytes = writer.finish();
+        let mut reader = BitReader::new(&bytes);
+        for &pattern in &patterns {
+            assert_eq!(
+                reader.read(width).unwrap(),
+                pattern & low_bit_mask(width),
+                "width {width}"
+            );
+        }
+    }
+}
+
+#[test]
+fn round_trip_mixed_widths_crossing_byte_boundaries() {
+    // Widths chosen so the stream position hits every alignment mod 8.
+    let widths: Vec<u32> = (1..=57).collect();
+    let mut writer = BitWriter::new();
+    for (i, &width) in widths.iter().enumerate() {
+        write_wide(&mut writer, i as u64, width);
+    }
+    let bytes = writer.finish();
+    let mut reader = BitReader::new(&bytes);
+    for (i, &width) in widths.iter().enumerate() {
+        assert_eq!(
+            reader.read(width).unwrap(),
+            (i as u64) & low_bit_mask(width),
+            "width {width} at index {i}"
+        );
+    }
+}
+
+#[test]
+fn align_to_byte_skips_to_the_same_boundary_on_both_sides() {
+    for prefix_bits in 1..8u32 {
+        let mut writer = BitWriter::new();
+        writer.write_bits(low_bit_mask(prefix_bits), prefix_bits);
+        writer.align_to_byte();
+        writer.write_bytes(&[0xAB, 0xCD]);
+        let bytes = writer.finish();
+
+        let mut reader = BitReader::new(&bytes);
+        assert_eq!(reader.read(prefix_bits).unwrap(), low_bit_mask(prefix_bits));
+        reader.align_to_byte();
+        let mut out = [0u8; 2];
+        reader.read_bytes(&mut out).unwrap();
+        assert_eq!(out, [0xAB, 0xCD], "prefix of {prefix_bits} bits");
+        assert!(reader.is_at_end());
+    }
+}
+
+#[test]
+fn align_on_exact_boundary_is_a_no_op() {
+    let mut writer = BitWriter::new();
+    writer.write_bits(0xFF, 8);
+    writer.align_to_byte();
+    writer.write_bits(0x01, 8);
+    let bytes = writer.finish();
+    assert_eq!(bytes, vec![0xFF, 0x01]);
+
+    let mut reader = BitReader::new(&bytes);
+    reader.align_to_byte(); // at position 0: no-op
+    assert_eq!(reader.position(), 0);
+    assert_eq!(reader.read(8).unwrap(), 0xFF);
+    reader.align_to_byte(); // at position 8: still a no-op
+    assert_eq!(reader.position(), 8);
+}
+
+#[test]
+fn reading_past_the_end_reports_eof_with_positions() {
+    let mut writer = BitWriter::new();
+    writer.write_bits(0b101, 3);
+    let bytes = writer.finish(); // padded to 8 bits
+    let mut reader = BitReader::new(&bytes);
+    assert_eq!(reader.read(3).unwrap(), 0b101);
+    assert_eq!(reader.remaining_bits(), 5);
+    match reader.read(6) {
+        Err(BitIoError::UnexpectedEof {
+            position,
+            requested,
+            available,
+        }) => {
+            assert_eq!(position, 3);
+            assert_eq!(requested, 6);
+            assert_eq!(available, 5);
+        }
+        other => panic!("expected UnexpectedEof, got {other:?}"),
+    }
+}
+
+#[test]
+fn oversized_reads_are_rejected_not_truncated() {
+    let bytes = vec![0u8; 64];
+    let mut reader = BitReader::new(&bytes);
+    assert_eq!(
+        reader.read(MAX_BITS_PER_READ + 1),
+        Err(BitIoError::TooManyBits(MAX_BITS_PER_READ + 1))
+    );
+    // The failed call must not have consumed anything.
+    assert_eq!(reader.position(), 0);
+}

@@ -73,7 +73,10 @@ impl FilterStatistics {
             ("Invalid Precode size", self.invalid_precode_size),
             ("Invalid Precode code", self.invalid_precode_code),
             ("Non-optimal Precode code", self.non_optimal_precode_code),
-            ("Invalid Precode-encoded data", self.invalid_precode_encoded_data),
+            (
+                "Invalid Precode-encoded data",
+                self.invalid_precode_encoded_data,
+            ),
             ("Invalid distance code", self.invalid_distance_code),
             ("Non-optimal distance code", self.non_optimal_distance_code),
             ("Invalid literal code", self.invalid_literal_code),
@@ -169,9 +172,7 @@ fn check_dynamic_header(data: &[u8], offset: u64) -> HeaderCheck {
     }
     match classify_packed_histogram(histogram, non_zero) {
         CodeCompleteness::Oversubscribed => return HeaderCheck::InvalidPrecodeCode,
-        CodeCompleteness::Incomplete if non_zero > 1 => {
-            return HeaderCheck::NonOptimalPrecodeCode
-        }
+        CodeCompleteness::Incomplete if non_zero > 1 => return HeaderCheck::NonOptimalPrecodeCode,
         _ => {}
     }
 
@@ -181,7 +182,10 @@ fn check_dynamic_header(data: &[u8], offset: u64) -> HeaderCheck {
     let mut reader = BitReader::new(data);
     reader.seek_to_bit(offset + 3 + 5 + 5 + 4).ok();
     let mut precode_lengths = [0u8; PRECODE_SYMBOLS];
-    for &position in rgz_deflate::constants::PRECODE_ORDER.iter().take(precode_count) {
+    for &position in rgz_deflate::constants::PRECODE_ORDER
+        .iter()
+        .take(precode_count)
+    {
         let Ok(length) = reader.read(3) else {
             return HeaderCheck::InvalidPrecodeCode;
         };
@@ -211,7 +215,7 @@ fn check_dynamic_header(data: &[u8], offset: u64) -> HeaderCheck {
                 if lengths.len() + repeat > total {
                     return HeaderCheck::InvalidPrecodeData;
                 }
-                lengths.extend(std::iter::repeat(previous).take(repeat));
+                lengths.extend(std::iter::repeat_n(previous, repeat));
             }
             17 | 18 => {
                 let (bits, base) = if symbol == 17 { (2 + 1, 3) } else { (7, 11) };
@@ -222,7 +226,7 @@ fn check_dynamic_header(data: &[u8], offset: u64) -> HeaderCheck {
                 if lengths.len() + repeat > total {
                     return HeaderCheck::InvalidPrecodeData;
                 }
-                lengths.extend(std::iter::repeat(0u8).take(repeat));
+                lengths.extend(std::iter::repeat_n(0u8, repeat));
             }
             _ => return HeaderCheck::InvalidPrecodeData,
         }
@@ -509,7 +513,9 @@ mod tests {
     fn text_corpus() -> Vec<u8> {
         let mut data = Vec::new();
         for i in 0..150_000u32 {
-            data.extend_from_slice(format!("line {:05}: the quick brown fox\n", i % 2500).as_bytes());
+            data.extend_from_slice(
+                format!("line {:05}: the quick brown fox\n", i % 2500).as_bytes(),
+            );
         }
         data
     }
@@ -561,7 +567,10 @@ mod tests {
     #[test]
     fn all_variants_find_real_blocks() {
         let (compressed, offsets) = compressed_with_blocks();
-        assert!(offsets.len() >= 3, "fixture must contain several dynamic blocks");
+        assert!(
+            offsets.len() >= 3,
+            "fixture must contain several dynamic blocks"
+        );
         let target = offsets[1];
         let start = target.saturating_sub(40);
 
@@ -673,10 +682,11 @@ mod tests {
         // not accept this exact offset.
         let optimized_hit = {
             let mut offset = real_offset;
-            DynamicBlockFinder::new().find_next(&compressed_binary, offset).map(|o| {
-                offset = o;
-                o
-            })
+            DynamicBlockFinder::new()
+                .find_next(&compressed_binary, offset)
+                .inspect(|&o| {
+                    offset = o;
+                })
         };
         assert_eq!(optimized_hit, Some(real_offset));
         let pugz_hit = PugzLikeFinder::default().find_next(&compressed_binary, real_offset);

@@ -86,7 +86,8 @@ impl CombinedBlockFinder {
 
 impl BlockFinder for CombinedBlockFinder {
     fn find_next(&self, data: &[u8], start_bit: u64) -> Option<u64> {
-        self.find_next_candidate(data, start_bit).map(|c| c.bit_offset)
+        self.find_next_candidate(data, start_bit)
+            .map(|c| c.bit_offset)
     }
 }
 
@@ -151,7 +152,9 @@ mod tests {
         // must resolve to the same LEN field as a real block though.
         let len_byte = |bit: u64| (bit + 3).div_ceil(8);
         assert!(
-            offsets.iter().any(|&o| len_byte(o) == len_byte(candidate.bit_offset)),
+            offsets
+                .iter()
+                .any(|&o| len_byte(o) == len_byte(candidate.bit_offset)),
             "candidate {} does not match any real stored block {:?}",
             candidate.bit_offset,
             offsets

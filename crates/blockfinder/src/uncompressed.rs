@@ -39,8 +39,7 @@ impl UncompressedBlockFinder {
             // Final-block bit, both block-type bits and the padding must be 0.
             if header >> 5 == 0 {
                 let length = u16::from_le_bytes([data[header_byte + 1], data[header_byte + 2]]);
-                let complement =
-                    u16::from_le_bytes([data[header_byte + 3], data[header_byte + 4]]);
+                let complement = u16::from_le_bytes([data[header_byte + 3], data[header_byte + 4]]);
                 if length == !complement {
                     return Some(header_byte as u64 * 8 + 5);
                 }
@@ -76,7 +75,9 @@ mod tests {
         let bytes = writer.finish();
 
         let finder = UncompressedBlockFinder::new();
-        let offset = finder.find_next(&bytes, 0).expect("must find the stored block");
+        let offset = finder
+            .find_next(&bytes, 0)
+            .expect("must find the stored block");
         // Decoding from the found offset must yield the stored payload.
         let mut reader = BitReader::new(&bytes);
         reader.seek_to_bit(offset).unwrap();

@@ -180,7 +180,11 @@ mod tests {
         for byte in 0u32..256 {
             let mut crc = byte;
             for _ in 0..8 {
-                crc = if crc & 1 != 0 { (crc >> 1) ^ POLYNOMIAL } else { crc >> 1 };
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ POLYNOMIAL
+                } else {
+                    crc >> 1
+                };
             }
             assert_eq!(TABLES[0][byte as usize], crc);
         }
@@ -188,7 +192,9 @@ mod tests {
 
     #[test]
     fn slicing_matches_bytewise() {
-        let data: Vec<u8> = (0..4096u32).map(|i| (i.wrapping_mul(2_654_435_761)) as u8).collect();
+        let data: Vec<u8> = (0..4096u32)
+            .map(|i| (i.wrapping_mul(2_654_435_761)) as u8)
+            .collect();
         // Byte-wise reference.
         let mut reference = 0xFFFF_FFFFu32;
         for &byte in &data {

@@ -44,7 +44,10 @@ mod tests {
     fn crc32_known_vectors() {
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32(b"123456789"), 0xCBF43926);
-        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414FA339);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414FA339
+        );
         assert_eq!(crc32(&[0u8; 32]), 0x190A55AD);
         assert_eq!(crc32(&[0xFFu8; 32]), 0xFF6CAB0B);
     }
@@ -80,6 +83,9 @@ mod tests {
     fn crc32_combine_with_empty_parts() {
         let a = b"hello world".as_slice();
         assert_eq!(crc32_combine(crc32(a), crc32(b""), 0), crc32(a));
-        assert_eq!(crc32_combine(crc32(b""), crc32(a), a.len() as u64), crc32(a));
+        assert_eq!(
+            crc32_combine(crc32(b""), crc32(a), a.len() as u64),
+            crc32(a)
+        );
     }
 }

@@ -1,0 +1,88 @@
+//! Cross-checks of the optimized checksum paths against naive bitwise
+//! reference implementations and the published test vectors.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rgz_checksum::{adler32, crc32};
+
+/// Naive CRC-32 (IEEE, reflected 0xEDB88320): one bit at a time, no tables.
+fn crc32_bitwise(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+        }
+    }
+    !crc
+}
+
+/// Naive Adler-32: per-byte modulo, straight from RFC 1950.
+fn adler32_naive(data: &[u8]) -> u32 {
+    const MOD: u32 = 65_521;
+    let (mut a, mut b) = (1u32, 0u32);
+    for &byte in data {
+        a = (a + byte as u32) % MOD;
+        b = (b + a) % MOD;
+    }
+    (b << 16) | a
+}
+
+fn one_mib_random() -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(0xC5C5_C5C5);
+    (0..1 << 20).map(|_| rng.gen()).collect()
+}
+
+#[test]
+fn crc32_empty_input_matches_bitwise_path() {
+    assert_eq!(crc32(b""), 0);
+    assert_eq!(crc32_bitwise(b""), 0);
+}
+
+#[test]
+fn crc32_check_string_matches_bitwise_path() {
+    // The canonical CRC-32 "check" value.
+    assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    assert_eq!(crc32_bitwise(b"123456789"), 0xCBF4_3926);
+}
+
+#[test]
+fn crc32_one_mib_random_slice_by_8_matches_bitwise() {
+    let data = one_mib_random();
+    assert_eq!(crc32(&data), crc32_bitwise(&data));
+}
+
+#[test]
+fn crc32_unaligned_prefixes_match_bitwise() {
+    // Lengths around the 8-byte slicing boundary exercise the remainder loop.
+    let data = one_mib_random();
+    for length in [1usize, 7, 8, 9, 15, 16, 17, 63, 64, 65] {
+        assert_eq!(
+            crc32(&data[..length]),
+            crc32_bitwise(&data[..length]),
+            "length {length}"
+        );
+    }
+}
+
+#[test]
+fn adler32_empty_input_matches_naive_path() {
+    assert_eq!(adler32(b""), 1);
+    assert_eq!(adler32_naive(b""), 1);
+}
+
+#[test]
+fn adler32_check_string_matches_naive_path() {
+    assert_eq!(adler32(b"123456789"), 0x091E_01DE);
+    assert_eq!(adler32_naive(b"123456789"), 0x091E_01DE);
+}
+
+#[test]
+fn adler32_one_mib_random_matches_naive() {
+    let data = one_mib_random();
+    assert_eq!(adler32(&data), adler32_naive(&data));
+}

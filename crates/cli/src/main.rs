@@ -42,7 +42,9 @@ fn parse_arguments() -> Result<Options, String> {
     let mut arguments = std::env::args().skip(1);
     let mut options = Options {
         file: String::new(),
-        threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
         chunk_size_kib: 4096,
         count_lines: false,
         export_index: None,
@@ -109,8 +111,8 @@ fn run(options: &Options) -> Result<(), String> {
     let mut line_count = 0u64;
 
     if options.serial {
-        let compressed =
-            std::fs::read(&options.file).map_err(|e| format!("cannot read {}: {e}", options.file))?;
+        let compressed = std::fs::read(&options.file)
+            .map_err(|e| format!("cannot read {}: {e}", options.file))?;
         let data = rgz_gzip::decompress(&compressed).map_err(|e| e.to_string())?;
         total_bytes = data.len() as u64;
         if options.count_lines {

@@ -97,7 +97,9 @@ fn cross_member_boundary(reader: &mut BitReader<'_>) -> Result<bool, CoreError> 
         if reader.data()[position] == 0 && reader.data()[position + 1] == 0 {
             // Zero padding between members (rare but legal for bgzip -
             // produced files); skip one byte and re-check.
-            reader.consume(8).map_err(|_| CoreError::Gzip(GzipError::Truncated))?;
+            reader
+                .consume(8)
+                .map_err(|_| CoreError::Gzip(GzipError::Truncated))?;
             continue;
         }
         parse_header(reader).map_err(CoreError::Gzip)?;
@@ -176,8 +178,8 @@ fn decode_direct_in_range(
     loop {
         let call_window = if first_call { window } else { &[] };
         first_call = false;
-        let outcome =
-            inflate(&mut reader, call_window, &mut data, relative_stop).map_err(CoreError::Deflate)?;
+        let outcome = inflate(&mut reader, call_window, &mut data, relative_stop)
+            .map_err(CoreError::Deflate)?;
         match outcome.stop_reason {
             StopReason::StopOffsetReached => break,
             StopReason::EndOfInput => {
@@ -365,7 +367,8 @@ mod tests {
         let shared = SharedFileReader::from_bytes(compressed);
 
         // Decode chunk 0 directly to learn the exact boundary and window.
-        let chunk0 = decode_chunk_at(&shared, 0, (chunk_size as u64) * 8, &[], true, chunk_size).unwrap();
+        let chunk0 =
+            decode_chunk_at(&shared, 0, (chunk_size as u64) * 8, &[], true, chunk_size).unwrap();
         assert!(!chunk0.reached_end_of_file);
 
         // Speculatively decode guess index 1 and verify it lines up.
@@ -387,7 +390,9 @@ mod tests {
     fn speculative_chunk_beyond_the_file_is_none() {
         let compressed = GzipWriter::default().compress(&corpus(100));
         let shared = SharedFileReader::from_bytes(compressed);
-        assert!(decode_speculative_chunk(&shared, 1 << 20, 5).unwrap().is_none());
+        assert!(decode_speculative_chunk(&shared, 1 << 20, 5)
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -396,8 +401,8 @@ mod tests {
         // boundaries to start from, so speculation must come up empty rather
         // than hallucinate data.
         let data = corpus(30_000);
-        let compressed = rgz_gzip::CompressorFrontend::new(rgz_gzip::FrontendKind::Igzip, 0)
-            .compress(&data);
+        let compressed =
+            rgz_gzip::CompressorFrontend::new(rgz_gzip::FrontendKind::Igzip, 0).compress(&data);
         let chunk_size = 32 * 1024;
         let shared = SharedFileReader::from_bytes(compressed.clone());
         assert!((compressed.len() / chunk_size) > 2);

@@ -102,7 +102,7 @@ mod tests {
 
     #[test]
     fn conversions_and_display() {
-        let io_error: CoreError = std::io::Error::new(std::io::ErrorKind::Other, "disk on fire").into();
+        let io_error: CoreError = std::io::Error::other("disk on fire").into();
         assert!(io_error.to_string().contains("disk on fire"));
         let gzip_error: CoreError = GzipError::Truncated.into();
         assert!(gzip_error.to_string().contains("gzip"));
@@ -110,7 +110,10 @@ mod tests {
         assert!(deflate_error.to_string().contains("DEFLATE"));
         let index_error: CoreError = IndexError::BadMagic.into();
         assert!(index_error.to_string().contains("index"));
-        let back_to_io: std::io::Error = CoreError::NoBlockFound { search_start_bits: 5 }.into();
+        let back_to_io: std::io::Error = CoreError::NoBlockFound {
+            search_start_bits: 5,
+        }
+        .into();
         assert_eq!(back_to_io.kind(), std::io::ErrorKind::InvalidData);
     }
 }

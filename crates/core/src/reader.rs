@@ -180,7 +180,7 @@ impl ParallelGzipReader {
         path: impl AsRef<std::path::Path>,
         options: ParallelGzipReaderOptions,
     ) -> Result<Self, CoreError> {
-        Ok(Self::new(SharedFileReader::open(path)?, options)?)
+        Self::new(SharedFileReader::open(path)?, options)
     }
 
     /// Creates a reader that uses an existing index, enabling the fast path
@@ -395,7 +395,9 @@ impl ParallelGzipReader {
         }
         // Drop stale speculative results that can never match again.
         let next_start = state.pass.next_start_bit;
-        state.speculative_ready.retain(|&found, _| found >= next_start);
+        state
+            .speculative_ready
+            .retain(|&found, _| found >= next_start);
         Ok(())
     }
 
@@ -406,48 +408,45 @@ impl ParallelGzipReader {
         start_bit: u64,
         guess_index: usize,
     ) -> Result<Option<SpeculativeChunk>, CoreError> {
-        loop {
-            // Harvest all finished speculative tasks.
-            let handle_to_wait;
-            {
+        // Harvest all finished speculative tasks.
+        let handle_to_wait;
+        {
+            let mut state = self.state.lock();
+            let finished: Vec<usize> = state
+                .speculative_pending
+                .iter()
+                .filter(|(_, handle)| handle.is_finished())
+                .map(|(&index, _)| index)
+                .collect();
+            for index in finished {
+                if let Some(handle) = state.speculative_pending.remove(&index) {
+                    if let Some(Ok(Ok(Some(chunk)))) = handle.try_wait() {
+                        state
+                            .speculative_ready
+                            .insert(chunk.found_bit_offset, chunk);
+                    }
+                }
+            }
+            if let Some(chunk) = state.speculative_ready.remove(&start_bit) {
+                return Ok(Some(chunk));
+            }
+            // If the task responsible for this offset is still running, wait
+            // for it specifically (the paper's "periodically check for ready
+            // chunks until C1 has become ready").
+            handle_to_wait = state.speculative_pending.remove(&guess_index);
+        }
+        match handle_to_wait {
+            Some(handle) => {
+                let result = handle.wait();
                 let mut state = self.state.lock();
-                let finished: Vec<usize> = state
-                    .speculative_pending
-                    .iter()
-                    .filter(|(_, handle)| handle.is_finished())
-                    .map(|(&index, _)| index)
-                    .collect();
-                for index in finished {
-                    if let Some(handle) = state.speculative_pending.remove(&index) {
-                        if let Some(Ok(Ok(Some(chunk)))) = handle.try_wait() {
-                            state
-                                .speculative_ready
-                                .insert(chunk.found_bit_offset, chunk);
-                        }
-                    }
+                if let Ok(Some(chunk)) = result {
+                    state
+                        .speculative_ready
+                        .insert(chunk.found_bit_offset, chunk);
                 }
-                if let Some(chunk) = state.speculative_ready.remove(&start_bit) {
-                    return Ok(Some(chunk));
-                }
-                // If the task responsible for this offset is still running,
-                // wait for it specifically (the paper's "periodically check
-                // for ready chunks until C1 has become ready").
-                handle_to_wait = state.speculative_pending.remove(&guess_index);
+                Ok(state.speculative_ready.remove(&start_bit))
             }
-            match handle_to_wait {
-                Some(handle) => {
-                    let result = handle.wait();
-                    let mut state = self.state.lock();
-                    if let Ok(Some(chunk)) = result {
-                        state.speculative_ready.insert(chunk.found_bit_offset, chunk);
-                    }
-                    if let Some(chunk) = state.speculative_ready.remove(&start_bit) {
-                        return Ok(Some(chunk));
-                    }
-                    return Ok(None);
-                }
-                None => return Ok(None),
-            }
+            None => Ok(None),
         }
     }
 
@@ -628,11 +627,8 @@ mod tests {
     }
 
     fn parallel_roundtrip(compressed: &[u8], chunk_size: usize) -> Vec<u8> {
-        let mut reader = ParallelGzipReader::from_bytes(
-            compressed.to_vec(),
-            options(4, chunk_size),
-        )
-        .unwrap();
+        let mut reader =
+            ParallelGzipReader::from_bytes(compressed.to_vec(), options(4, chunk_size)).unwrap();
         reader.decompress_all().unwrap()
     }
 
@@ -657,8 +653,7 @@ mod tests {
     fn speculative_results_are_actually_used() {
         let data = fastq_records(20_000, 3);
         let compressed = GzipWriter::default().compress(&data);
-        let mut reader =
-            ParallelGzipReader::from_bytes(compressed, options(4, 64 * 1024)).unwrap();
+        let mut reader = ParallelGzipReader::from_bytes(compressed, options(4, 64 * 1024)).unwrap();
         let restored = reader.decompress_all().unwrap();
         assert_eq!(restored, data);
         let statistics = reader.statistics();
@@ -724,7 +719,9 @@ mod tests {
         assert_eq!(&tail[..], &data[data.len() - 50..]);
 
         // Seeking past the end yields EOF on read.
-        reader.seek(SeekFrom::Start(data.len() as u64 + 10)).unwrap();
+        reader
+            .seek(SeekFrom::Start(data.len() as u64 + 10))
+            .unwrap();
         assert_eq!(reader.read(&mut buffer).unwrap(), 0);
     }
 
@@ -767,7 +764,11 @@ mod tests {
         // or hang.
         let data = base64_random(500_000, 9);
         let pristine = GzipWriter::default().compress(&data);
-        for flip_at in [pristine.len() / 3, pristine.len() / 2, 2 * pristine.len() / 3] {
+        for flip_at in [
+            pristine.len() / 3,
+            pristine.len() / 2,
+            2 * pristine.len() / 3,
+        ] {
             let mut compressed = pristine.clone();
             compressed[flip_at] ^= 0xFF;
             let mut reader =

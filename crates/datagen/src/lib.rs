@@ -23,7 +23,7 @@ const BASE64_ALPHABET: &[u8; 64] =
 /// Generates `length` bytes of base64-encoded random data (including newlines
 /// every 76 characters, like the `base64` command-line tool).
 pub fn base64_random(length: usize, seed: u64) -> Vec<u8> {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xBA5E_64);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x00BA_5E64);
     let mut out = Vec::with_capacity(length + 80);
     let mut column = 0usize;
     while out.len() < length {
@@ -40,10 +40,41 @@ pub fn base64_random(length: usize, seed: u64) -> Vec<u8> {
 
 /// Words used by the text portion of the Silesia-like corpus.
 const WORDS: &[&str] = &[
-    "the", "quick", "brown", "fox", "jumps", "over", "lazy", "dog", "compression", "dictionary",
-    "window", "pointer", "stream", "archive", "corpus", "sample", "medical", "database", "record",
-    "protein", "sequence", "chapter", "keyword", "figure", "result", "measurement", "benchmark",
-    "parallel", "thread", "prefetch", "cache", "offset", "block", "huffman", "deflate",
+    "the",
+    "quick",
+    "brown",
+    "fox",
+    "jumps",
+    "over",
+    "lazy",
+    "dog",
+    "compression",
+    "dictionary",
+    "window",
+    "pointer",
+    "stream",
+    "archive",
+    "corpus",
+    "sample",
+    "medical",
+    "database",
+    "record",
+    "protein",
+    "sequence",
+    "chapter",
+    "keyword",
+    "figure",
+    "result",
+    "measurement",
+    "benchmark",
+    "parallel",
+    "thread",
+    "prefetch",
+    "cache",
+    "offset",
+    "block",
+    "huffman",
+    "deflate",
 ];
 
 /// Generates a mixed corpus with characteristics similar to the Silesia
@@ -52,7 +83,7 @@ const WORDS: &[&str] = &[
 /// produces many back-references, which makes two-stage decompression emit
 /// plenty of markers (unlike [`base64_random`]).
 pub fn silesia_like(length: usize, seed: u64) -> Vec<u8> {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x51E5_1A);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0051_E51A);
     let mut out = Vec::with_capacity(length + 4096);
     while out.len() < length {
         match rng.gen_range(0..10u32) {
@@ -69,7 +100,7 @@ pub fn silesia_like(length: usize, seed: u64) -> Vec<u8> {
                     out.extend_from_slice(&(record as u16).to_le_bytes());
                     out.extend_from_slice(&rng.gen_range(0..1_000_000u32).to_le_bytes());
                     let tag = rng.gen_range(0..16u8);
-                    out.extend(std::iter::repeat(tag).take(rng.gen_range(4..24)));
+                    out.extend(std::iter::repeat_n(tag, rng.gen_range(4..24)));
                 }
             }
             // ~10%: verbatim repetition of earlier content (long matches).
@@ -156,10 +187,10 @@ pub fn tar_archive(entries: &[TarEntry]) -> Vec<u8> {
         out.extend_from_slice(&header);
         out.extend_from_slice(&entry.data);
         let padding = (512 - entry.data.len() % 512) % 512;
-        out.extend(std::iter::repeat(0u8).take(padding));
+        out.extend(std::iter::repeat_n(0u8, padding));
     }
     // Two zero blocks terminate the archive.
-    out.extend(std::iter::repeat(0u8).take(1024));
+    out.extend(std::iter::repeat_n(0u8, 1024));
     out
 }
 
@@ -176,8 +207,9 @@ pub fn tar_entries(archive: &[u8]) -> Vec<(String, usize, usize)> {
         let name_end = header.iter().position(|&b| b == 0).unwrap_or(100).min(100);
         let name = String::from_utf8_lossy(&header[..name_end]).to_string();
         let size_text = String::from_utf8_lossy(&header[124..135]);
-        let size = usize::from_str_radix(size_text.trim_matches(|c: char| c == '\0' || c == ' '), 8)
-            .unwrap_or(0);
+        let size =
+            usize::from_str_radix(size_text.trim_matches(|c: char| c == '\0' || c == ' '), 8)
+                .unwrap_or(0);
         entries.push((name, offset + 512, size));
         offset += 512 + size.div_ceil(512) * 512;
     }
@@ -196,7 +228,9 @@ mod tests {
         assert_eq!(a, b);
         assert_ne!(a, c);
         assert_eq!(a.len(), 10_000);
-        assert!(a.iter().all(|&b| b == b'\n' || BASE64_ALPHABET.contains(&b)));
+        assert!(a
+            .iter()
+            .all(|&b| b == b'\n' || BASE64_ALPHABET.contains(&b)));
     }
 
     #[test]
@@ -223,9 +257,18 @@ mod tests {
     #[test]
     fn tar_archive_round_trips_entry_metadata() {
         let entries = vec![
-            TarEntry { name: "a.txt".into(), data: b"hello".to_vec() },
-            TarEntry { name: "dir/b.bin".into(), data: vec![0xAB; 1500] },
-            TarEntry { name: "empty".into(), data: Vec::new() },
+            TarEntry {
+                name: "a.txt".into(),
+                data: b"hello".to_vec(),
+            },
+            TarEntry {
+                name: "dir/b.bin".into(),
+                data: vec![0xAB; 1500],
+            },
+            TarEntry {
+                name: "empty".into(),
+                data: Vec::new(),
+            },
         ];
         let archive = tar_archive(&entries);
         assert_eq!(archive.len() % 512, 0);
@@ -246,8 +289,14 @@ mod tests {
         let base64_ratio = ratio(&base64);
         let silesia_ratio = ratio(&silesia);
         // The paper: base64 ≈ 1.315, Silesia ≈ 3.1.
-        assert!((1.1..=1.6).contains(&base64_ratio), "base64 ratio {base64_ratio}");
-        assert!((2.0..=5.0).contains(&silesia_ratio), "silesia ratio {silesia_ratio}");
+        assert!(
+            (1.1..=1.6).contains(&base64_ratio),
+            "base64 ratio {base64_ratio}"
+        );
+        assert!(
+            (2.0..=5.0).contains(&silesia_ratio),
+            "silesia ratio {silesia_ratio}"
+        );
         assert!(silesia_ratio > base64_ratio + 0.5);
     }
 

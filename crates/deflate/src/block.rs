@@ -41,7 +41,10 @@ pub struct BlockHeader {
 pub fn read_block_header(reader: &mut BitReader<'_>) -> Result<BlockHeader, DeflateError> {
     let is_final = reader.read_bit()?;
     let block_type = BlockType::from_bits(reader.read(2)?)?;
-    Ok(BlockHeader { is_final, block_type })
+    Ok(BlockHeader {
+        is_final,
+        block_type,
+    })
 }
 
 /// The pair of Huffman decoders a compressed block uses.
@@ -88,7 +91,9 @@ pub fn parse_dynamic_header(reader: &mut BitReader<'_>) -> Result<DynamicHeader,
     }
     let distance_count = reader.read(5)? as usize + 1;
     if distance_count > 30 {
-        return Err(DeflateError::InvalidDistanceCodeCount(distance_count as u16));
+        return Err(DeflateError::InvalidDistanceCodeCount(
+            distance_count as u16,
+        ));
     }
     let precode_count = reader.read(4)? as usize + 4;
 
@@ -102,7 +107,9 @@ pub fn parse_dynamic_header(reader: &mut BitReader<'_>) -> Result<DynamicHeader,
     let total = literal_count + distance_count;
     let mut lengths = Vec::with_capacity(total);
     while lengths.len() < total {
-        let symbol = precode.decode(reader).map_err(DeflateError::InvalidPrecode)?;
+        let symbol = precode
+            .decode(reader)
+            .map_err(DeflateError::InvalidPrecode)?;
         match symbol {
             0..=15 => lengths.push(symbol as u8),
             16 => {
@@ -113,21 +120,21 @@ pub fn parse_dynamic_header(reader: &mut BitReader<'_>) -> Result<DynamicHeader,
                 if lengths.len() + repeat > total {
                     return Err(DeflateError::CodeLengthOverflow);
                 }
-                lengths.extend(std::iter::repeat(previous).take(repeat));
+                lengths.extend(std::iter::repeat_n(previous, repeat));
             }
             17 => {
                 let repeat = reader.read(3)? as usize + 3;
                 if lengths.len() + repeat > total {
                     return Err(DeflateError::CodeLengthOverflow);
                 }
-                lengths.extend(std::iter::repeat(0u8).take(repeat));
+                lengths.extend(std::iter::repeat_n(0u8, repeat));
             }
             18 => {
                 let repeat = reader.read(7)? as usize + 11;
                 if lengths.len() + repeat > total {
                     return Err(DeflateError::CodeLengthOverflow);
                 }
-                lengths.extend(std::iter::repeat(0u8).take(repeat));
+                lengths.extend(std::iter::repeat_n(0u8, repeat));
             }
             _ => return Err(DeflateError::CodeLengthOverflow),
         }
@@ -167,10 +174,7 @@ pub fn read_stored_header(reader: &mut BitReader<'_>) -> Result<usize, DeflateEr
 
 /// Resolves a literal/length symbol above 256 to a match length.
 #[inline]
-pub fn decode_length(
-    symbol: u16,
-    reader: &mut BitReader<'_>,
-) -> Result<usize, DeflateError> {
+pub fn decode_length(symbol: u16, reader: &mut BitReader<'_>) -> Result<usize, DeflateError> {
     if !(257..=285).contains(&symbol) {
         return Err(DeflateError::InvalidLengthSymbol(symbol));
     }
@@ -189,7 +193,9 @@ pub fn decode_distance(
         .distance
         .as_ref()
         .ok_or(DeflateError::BackReferenceWithoutDistanceCode)?;
-    let symbol = decoder.decode(reader).map_err(DeflateError::InvalidDistanceCode)?;
+    let symbol = decoder
+        .decode(reader)
+        .map_err(DeflateError::InvalidDistanceCode)?;
     if symbol as usize >= DISTANCE_BASE.len() {
         return Err(DeflateError::InvalidDistanceSymbol(symbol));
     }
@@ -263,9 +269,13 @@ mod tests {
         writer.write_bits(0, 5); // HLIT -> 257
         writer.write_bits(0, 5); // HDIST -> 1
         writer.write_bits(15, 4); // HCLEN -> 19
-        // Precode lengths: give symbols 16 and 0 length 1, everything else 0.
+                                  // Precode lengths: give symbols 16 and 0 length 1, everything else 0.
         for &position in PRECODE_ORDER.iter() {
-            let length = if position == 16 || position == 0 { 1 } else { 0 };
+            let length = if position == 16 || position == 0 {
+                1
+            } else {
+                0
+            };
             writer.write_bits(length, 3);
         }
         // Canonical code: symbol 0 -> 0, symbol 16 -> 1. Emit symbol 16 first.

@@ -148,7 +148,12 @@ impl DeflateCompressor {
             }
         }
         if !block_tokens.is_empty() || !emitted_any {
-            self.emit_block(&data[block_start..position], &block_tokens, writer, finalize);
+            self.emit_block(
+                &data[block_start..position],
+                &block_tokens,
+                writer,
+                finalize,
+            );
         } else if finalize {
             // All data went out in non-final blocks; terminate the stream.
             write_stored_block(writer, &[], true);
@@ -197,9 +202,7 @@ impl DeflateCompressor {
                     break;
                 }
                 let mut length = 0usize;
-                while length < max_length
-                    && data[candidate + length] == data[position + length]
-                {
+                while length < max_length && data[candidate + length] == data[position + length] {
                     length += 1;
                 }
                 if length > best_length {
@@ -561,10 +564,10 @@ mod tests {
                 0..=15 => expanded.push(symbol as u8),
                 16 => {
                     let previous = *expanded.last().unwrap();
-                    expanded.extend(std::iter::repeat(previous).take(3 + extra as usize));
+                    expanded.extend(std::iter::repeat_n(previous, 3 + extra as usize));
                 }
-                17 => expanded.extend(std::iter::repeat(0).take(3 + extra as usize)),
-                18 => expanded.extend(std::iter::repeat(0).take(11 + extra as usize)),
+                17 => expanded.extend(std::iter::repeat_n(0, 3 + extra as usize)),
+                18 => expanded.extend(std::iter::repeat_n(0, 11 + extra as usize)),
                 _ => unreachable!(),
             }
         }
@@ -576,13 +579,15 @@ mod tests {
         let sequence = vec![0u8; 200];
         let encoded = run_length_encode(&sequence);
         assert!(encoded.len() <= 3);
-        assert!(encoded.iter().all(|&(s, _, _)| s == 18 || s == 17 || s == 0));
+        assert!(encoded
+            .iter()
+            .all(|&(s, _, _)| s == 18 || s == 17 || s == 0));
     }
 
     #[test]
     fn compresses_and_restores_text() {
-        let data = b"How much wood would a woodchuck chuck if a woodchuck could chuck wood?"
-            .repeat(100);
+        let data =
+            b"How much wood would a woodchuck chuck if a woodchuck could chuck wood?".repeat(100);
         for level in [
             CompressionLevel::Huffman,
             CompressionLevel::Fast,

@@ -47,9 +47,9 @@ pub const PRECODE_ORDER: [usize; 19] = [
 /// Code lengths of the fixed literal/length Huffman code (BTYPE = 01).
 pub fn fixed_literal_lengths() -> Vec<u8> {
     let mut lengths = vec![8u8; 144];
-    lengths.extend(std::iter::repeat(9u8).take(112));
-    lengths.extend(std::iter::repeat(7u8).take(24));
-    lengths.extend(std::iter::repeat(8u8).take(8));
+    lengths.extend(std::iter::repeat_n(9u8, 112));
+    lengths.extend(std::iter::repeat_n(7u8, 24));
+    lengths.extend(std::iter::repeat_n(8u8, 8));
     lengths
 }
 
@@ -112,7 +112,10 @@ mod tests {
     fn every_length_round_trips_through_its_code() {
         for length in MIN_MATCH..=MAX_MATCH {
             let (code, extra_bits, extra) = length_to_code(length);
-            assert!((257..=285).contains(&code), "length {length} -> code {code}");
+            assert!(
+                (257..=285).contains(&code),
+                "length {length} -> code {code}"
+            );
             let index = (code - 257) as usize;
             assert_eq!(LENGTH_EXTRA_BITS[index], extra_bits);
             assert_eq!(LENGTH_BASE[index] as usize + extra as usize, length);

@@ -222,7 +222,12 @@ impl MarkerSink {
     }
 
     #[inline]
-    fn copy_match(&mut self, distance: usize, length: usize, base: usize) -> Result<(), DeflateError> {
+    fn copy_match(
+        &mut self,
+        distance: usize,
+        length: usize,
+        base: usize,
+    ) -> Result<(), DeflateError> {
         if distance == 0 || distance > WINDOW_SIZE {
             return Err(DeflateError::DistanceTooFar {
                 distance,
@@ -402,7 +407,10 @@ mod tests {
         let mut full = Vec::new();
         let outcome = inflate(&mut reader, &[], &mut full, u64::MAX).unwrap();
         assert_eq!(full, data);
-        assert!(outcome.blocks.len() > 2, "need multiple blocks for this test");
+        assert!(
+            outcome.blocks.len() > 2,
+            "need multiple blocks for this test"
+        );
 
         let second_block = outcome.blocks[1];
         let mut reader = BitReader::new(&compressed);
@@ -442,7 +450,10 @@ mod tests {
         reader.seek_to_bit(boundary.bit_offset).unwrap();
         let mut symbols = Vec::new();
         inflate_two_stage(&mut reader, &mut symbols, u64::MAX).unwrap();
-        assert!(symbols.iter().any(|&s| s >= MARKER_BASE), "expected markers");
+        assert!(
+            symbols.iter().any(|&s| s >= MARKER_BASE),
+            "expected markers"
+        );
 
         let split = boundary.uncompressed_offset as usize;
         let window = &data[split - WINDOW_SIZE..split];
@@ -495,7 +506,10 @@ mod tests {
         let outcome = inflate(&mut reader, &[], &mut out2, u64::MAX).unwrap();
         drop(outcome);
         // Direct unit check of the sink error.
-        let mut sink = ByteSink { window: &[], out: Vec::new() };
+        let mut sink = ByteSink {
+            window: &[],
+            out: Vec::new(),
+        };
         assert!(matches!(
             sink.copy_match(5, 3),
             Err(DeflateError::DistanceTooFar { .. })

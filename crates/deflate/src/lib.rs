@@ -94,11 +94,17 @@ impl std::fmt::Display for DeflateError {
             DeflateError::BackReferenceWithoutDistanceCode => {
                 write!(f, "back-reference in a block without distance codes")
             }
-            DeflateError::DistanceTooFar { distance, available } => write!(
+            DeflateError::DistanceTooFar {
+                distance,
+                available,
+            } => write!(
                 f,
                 "back-reference distance {distance} exceeds available history {available}"
             ),
-            DeflateError::MarkerOutsideWindow { offset, window_length } => write!(
+            DeflateError::MarkerOutsideWindow {
+                offset,
+                window_length,
+            } => write!(
                 f,
                 "marker offset {offset} lies outside the provided window of {window_length} bytes"
             ),
@@ -133,9 +139,18 @@ mod tests {
         let errors: Vec<DeflateError> = vec![
             DeflateError::ReservedBlockType,
             DeflateError::InvalidLiteralCodeCount(288),
-            DeflateError::StoredLengthMismatch { length: 1, complement: 2 },
-            DeflateError::DistanceTooFar { distance: 100, available: 10 },
-            DeflateError::MarkerOutsideWindow { offset: 0, window_length: 5 },
+            DeflateError::StoredLengthMismatch {
+                length: 1,
+                complement: 2,
+            },
+            DeflateError::DistanceTooFar {
+                distance: 100,
+                available: 10,
+            },
+            DeflateError::MarkerOutsideWindow {
+                offset: 0,
+                window_length: 5,
+            },
             DeflateError::UnexpectedEof,
         ];
         for error in errors {

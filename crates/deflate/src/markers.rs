@@ -98,7 +98,7 @@ mod tests {
     fn markers_resolve_against_full_window() {
         let window: Vec<u8> = (0..WINDOW_SIZE).map(|i| (i % 256) as u8).collect();
         let symbols = vec![
-            MARKER_BASE,                       // oldest window byte
+            MARKER_BASE, // oldest window byte
             MARKER_BASE + 1,
             MARKER_BASE + (WINDOW_SIZE as u16 - 1), // newest window byte
             b'x' as u16,
@@ -137,10 +137,14 @@ mod tests {
     fn resolve_window_of_long_chunk_uses_only_the_tail() {
         let window = vec![0xAAu8; WINDOW_SIZE];
         // Chunk longer than a window made of literals 0,1,2,...
-        let symbols: Vec<u16> = (0..(WINDOW_SIZE + 1000)).map(|i| (i % 256) as u16).collect();
+        let symbols: Vec<u16> = (0..(WINDOW_SIZE + 1000))
+            .map(|i| (i % 256) as u16)
+            .collect();
         let next_window = resolve_window(&symbols, &window).unwrap();
         assert_eq!(next_window.len(), WINDOW_SIZE);
-        let expected: Vec<u8> = (1000..WINDOW_SIZE + 1000).map(|i| (i % 256) as u8).collect();
+        let expected: Vec<u8> = (1000..WINDOW_SIZE + 1000)
+            .map(|i| (i % 256) as u8)
+            .collect();
         assert_eq!(next_window, expected);
     }
 
@@ -150,7 +154,10 @@ mod tests {
         let symbols: Vec<u16> = (0..10u16).collect();
         let next_window = resolve_window(&symbols, &window).unwrap();
         assert_eq!(next_window.len(), WINDOW_SIZE);
-        assert_eq!(&next_window[WINDOW_SIZE - 10..], &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(
+            &next_window[WINDOW_SIZE - 10..],
+            &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]
+        );
         assert_eq!(&next_window[..WINDOW_SIZE - 10], &window[10..]);
     }
 

@@ -248,7 +248,9 @@ mod tests {
         }
         let statistics = fetcher.statistics();
         assert_eq!(statistics.accesses, 40);
-        assert!(statistics.prefetch_hits + statistics.on_demand + statistics.access_cache_hits == 40);
+        assert!(
+            statistics.prefetch_hits + statistics.on_demand + statistics.access_cache_hits == 40
+        );
         assert!(statistics.prefetch_hits > 10, "{statistics:?}");
     }
 

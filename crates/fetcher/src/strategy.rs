@@ -66,9 +66,7 @@ impl FetchingStrategy for FetchNextAdaptive {
         state.consecutive = match state.last {
             // First access: assume a full sequential read is starting.
             None => u32::MAX,
-            Some(last) if index == last + 1 || index == last => {
-                state.consecutive.saturating_add(1)
-            }
+            Some(last) if index == last + 1 || index == last => state.consecutive.saturating_add(1),
             Some(_) => 0,
         };
         state.last = Some(index);

@@ -154,7 +154,10 @@ mod tests {
         for handle in handles {
             handle.wait();
         }
-        assert!(peak.load(Ordering::SeqCst) >= 2, "no observable parallelism");
+        assert!(
+            peak.load(Ordering::SeqCst) >= 2,
+            "no observable parallelism"
+        );
     }
 
     #[test]

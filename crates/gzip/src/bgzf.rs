@@ -17,8 +17,8 @@ pub const MAX_BGZF_INPUT_BLOCK: usize = 0xFF00;
 
 /// The canonical 28-byte BGZF end-of-file marker block.
 pub const BGZF_EOF_BLOCK: [u8; 28] = [
-    0x1F, 0x8B, 0x08, 0x04, 0x00, 0x00, 0x00, 0x00, 0x00, 0xFF, 0x06, 0x00, 0x42, 0x43, 0x02,
-    0x00, 0x1B, 0x00, 0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+    0x1F, 0x8B, 0x08, 0x04, 0x00, 0x00, 0x00, 0x00, 0x00, 0xFF, 0x06, 0x00, 0x42, 0x43, 0x02, 0x00,
+    0x1B, 0x00, 0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
 ];
 
 /// Returns the BSIZE value (total member size − 1) if the parsed gzip header
@@ -122,7 +122,9 @@ pub fn block_offsets(data: &[u8]) -> Result<Vec<u64>, crate::GzipError> {
         let mut reader = rgz_bitio::BitReader::new(&data[offset..]);
         let header = crate::header::parse_header(&mut reader)?;
         let Some(bsize) = is_bgzf_header(&header) else {
-            return Err(crate::GzipError::TrailingGarbage { offset: offset as u64 });
+            return Err(crate::GzipError::TrailingGarbage {
+                offset: offset as u64,
+            });
         };
         offsets.push(offset as u64);
         offset += bsize as usize + 1;
@@ -180,7 +182,9 @@ mod tests {
     #[test]
     fn small_input_block_size_is_respected() {
         let data = vec![7u8; 10_000];
-        let compressed = BgzfWriter::default().with_input_block_size(1024).compress(&data);
+        let compressed = BgzfWriter::default()
+            .with_input_block_size(1024)
+            .compress(&data);
         let offsets = block_offsets(&compressed).unwrap();
         assert_eq!(offsets.len(), 10 + 1);
         assert_eq!(decompress(&compressed).unwrap(), data);

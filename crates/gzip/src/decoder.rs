@@ -63,7 +63,10 @@ impl GzipDecoder {
     }
 
     /// Decompresses a complete gzip file and reports per-member metadata.
-    pub fn decompress_with_info(&self, data: &[u8]) -> Result<(Vec<u8>, Vec<MemberInfo>), GzipError> {
+    pub fn decompress_with_info(
+        &self,
+        data: &[u8],
+    ) -> Result<(Vec<u8>, Vec<MemberInfo>), GzipError> {
         let mut reader = BitReader::new(data);
         let mut out: Vec<u8> = Vec::new();
         let mut members = Vec::new();

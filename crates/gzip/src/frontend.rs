@@ -126,17 +126,31 @@ mod tests {
     fn corpus() -> Vec<u8> {
         let mut data = Vec::new();
         for i in 0..40_000u32 {
-            data.extend_from_slice(format!("entry {:05} lorem ipsum dolor sit amet\n", i % 3000).as_bytes());
+            data.extend_from_slice(
+                format!("entry {:05} lorem ipsum dolor sit amet\n", i % 3000).as_bytes(),
+            );
         }
         data
     }
 
     #[test]
     fn labels_match_paper_style() {
-        assert_eq!(CompressorFrontend::new(FrontendKind::Gzip, 6).label(), "gzip -6");
-        assert_eq!(CompressorFrontend::new(FrontendKind::Bgzf, 0).label(), "bgzip -l 0");
-        assert_eq!(CompressorFrontend::new(FrontendKind::Igzip, 0).label(), "igzip -0");
-        assert_eq!(CompressorFrontend::new(FrontendKind::Pigz, 9).label(), "pigz -9");
+        assert_eq!(
+            CompressorFrontend::new(FrontendKind::Gzip, 6).label(),
+            "gzip -6"
+        );
+        assert_eq!(
+            CompressorFrontend::new(FrontendKind::Bgzf, 0).label(),
+            "bgzip -l 0"
+        );
+        assert_eq!(
+            CompressorFrontend::new(FrontendKind::Igzip, 0).label(),
+            "igzip -0"
+        );
+        assert_eq!(
+            CompressorFrontend::new(FrontendKind::Pigz, 9).label(),
+            "pigz -9"
+        );
     }
 
     #[test]

@@ -90,7 +90,9 @@ pub fn parse_header(reader: &mut BitReader<'_>) -> Result<GzipHeader, GzipError>
     let extra_field = if flags & FLAG_EXTRA != 0 {
         let length = reader.read_u16_le().map_err(|_| GzipError::Truncated)? as usize;
         let mut payload = vec![0u8; length];
-        reader.read_bytes(&mut payload).map_err(|_| GzipError::Truncated)?;
+        reader
+            .read_bytes(&mut payload)
+            .map_err(|_| GzipError::Truncated)?;
         Some(payload)
     } else {
         None
@@ -110,7 +112,10 @@ pub fn parse_header(reader: &mut BitReader<'_>) -> Result<GzipHeader, GzipError>
         let stored = reader.read_u16_le().map_err(|_| GzipError::Truncated)?;
         // Compute the CRC16 over the header bytes read so far.
         let header_bytes = reader
-            .bytes_at((start / 8) as usize, ((reader.position() - start) / 8) as usize - 2)
+            .bytes_at(
+                (start / 8) as usize,
+                ((reader.position() - start) / 8) as usize - 2,
+            )
             .ok_or(GzipError::Truncated)?;
         let mut crc = Crc32::new();
         crc.update(header_bytes);
@@ -236,7 +241,10 @@ mod tests {
         let parsed = parse(&bytes).unwrap();
         assert!(parsed.is_text);
         assert_eq!(parsed.modification_time, 1_700_000_000);
-        assert_eq!(parsed.extra_field.as_deref(), Some(&[b'B', b'C', 2, 0, 0x34, 0x12][..]));
+        assert_eq!(
+            parsed.extra_field.as_deref(),
+            Some(&[b'B', b'C', 2, 0, 0x34, 0x12][..])
+        );
         assert_eq!(parsed.file_name.as_deref(), Some(b"archive.tar".as_slice()));
         assert_eq!(parsed.header_size, bytes.len());
     }

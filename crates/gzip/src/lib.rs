@@ -53,11 +53,17 @@ impl std::fmt::Display for GzipError {
                 write!(f, "reserved gzip FLG bits set: {flags:#04x}")
             }
             GzipError::HeaderCrcMismatch { stored, computed } => {
-                write!(f, "header CRC mismatch: stored {stored:#06x}, computed {computed:#06x}")
+                write!(
+                    f,
+                    "header CRC mismatch: stored {stored:#06x}, computed {computed:#06x}"
+                )
             }
             GzipError::Truncated => write!(f, "truncated gzip stream"),
             GzipError::ChecksumMismatch { stored, computed } => {
-                write!(f, "CRC-32 mismatch: stored {stored:#010x}, computed {computed:#010x}")
+                write!(
+                    f,
+                    "CRC-32 mismatch: stored {stored:#010x}, computed {computed:#010x}"
+                )
             }
             GzipError::SizeMismatch { stored, computed } => {
                 write!(f, "ISIZE mismatch: stored {stored}, computed {computed}")
@@ -90,11 +96,16 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        assert!(GzipError::BadMagic { found: [0, 1] }.to_string().contains("magic"));
-        assert!(GzipError::Truncated.to_string().contains("truncated"));
-        assert!(GzipError::ChecksumMismatch { stored: 1, computed: 2 }
+        assert!(GzipError::BadMagic { found: [0, 1] }
             .to_string()
-            .contains("CRC-32"));
+            .contains("magic"));
+        assert!(GzipError::Truncated.to_string().contains("truncated"));
+        assert!(GzipError::ChecksumMismatch {
+            stored: 1,
+            computed: 2
+        }
+        .to_string()
+        .contains("CRC-32"));
     }
 
     #[test]

@@ -143,7 +143,10 @@ mod tests {
             .with_modification_time(1_650_000_000);
         let compressed = writer.compress(b"payload");
         let (_, members) = decompress_with_info(&compressed).unwrap();
-        assert_eq!(members[0].header.file_name.as_deref(), Some(b"data.bin".as_slice()));
+        assert_eq!(
+            members[0].header.file_name.as_deref(),
+            Some(b"data.bin".as_slice())
+        );
         assert_eq!(members[0].header.modification_time, 1_650_000_000);
     }
 
@@ -166,7 +169,10 @@ mod tests {
             .iter()
             .filter(|b| b.block_type == BlockType::Stored)
             .count();
-        assert!(stored_blocks >= data.len() / (64 * 1024), "missing sync blocks");
+        assert!(
+            stored_blocks >= data.len() / (64 * 1024),
+            "missing sync blocks"
+        );
     }
 
     #[test]

@@ -2,7 +2,9 @@
 
 use rgz_bitio::{reverse_bits, BitReader};
 
-use crate::{canonical_codes, classify_code_lengths, CodeCompleteness, HuffmanError, MAX_CODE_LENGTH};
+use crate::{
+    canonical_codes, classify_code_lengths, CodeCompleteness, HuffmanError, MAX_CODE_LENGTH,
+};
 
 /// A single-level lookup-table decoder for canonical Huffman codes.
 ///
@@ -121,7 +123,10 @@ mod tests {
         let bytes = writer.finish();
         let decoder = HuffmanDecoder::from_code_lengths(lengths).unwrap();
         let mut reader = BitReader::new(&bytes);
-        symbols.iter().map(|_| decoder.decode(&mut reader).unwrap()).collect()
+        symbols
+            .iter()
+            .map(|_| decoder.decode(&mut reader).unwrap())
+            .collect()
     }
 
     #[test]

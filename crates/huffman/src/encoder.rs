@@ -2,7 +2,9 @@
 
 use rgz_bitio::BitWriter;
 
-use crate::{canonical_codes, classify_code_lengths, CodeCompleteness, HuffmanError, MAX_CODE_LENGTH};
+use crate::{
+    canonical_codes, classify_code_lengths, CodeCompleteness, HuffmanError, MAX_CODE_LENGTH,
+};
 
 /// Encodes symbols with a canonical Huffman code defined by code lengths.
 #[derive(Debug, Clone)]
@@ -55,7 +57,10 @@ impl HuffmanEncoder {
     /// Code length assigned to `symbol` (0 if unused).
     #[inline]
     pub fn code_length(&self, symbol: u16) -> u8 {
-        self.codes.get(symbol as usize).map(|&(_, l)| l).unwrap_or(0)
+        self.codes
+            .get(symbol as usize)
+            .map(|&(_, l)| l)
+            .unwrap_or(0)
     }
 
     /// Number of symbols in the alphabet.

@@ -160,9 +160,18 @@ mod tests {
     fn classify_matches_figure_6() {
         // Figure 6 of the paper: lengths (1,1,1) over-subscribed,
         // (2,2,2) incomplete, (2,2,1) complete.
-        assert_eq!(classify_code_lengths(&[1, 1, 1]), CodeCompleteness::Oversubscribed);
-        assert_eq!(classify_code_lengths(&[2, 2, 2]), CodeCompleteness::Incomplete);
-        assert_eq!(classify_code_lengths(&[2, 2, 1]), CodeCompleteness::Complete);
+        assert_eq!(
+            classify_code_lengths(&[1, 1, 1]),
+            CodeCompleteness::Oversubscribed
+        );
+        assert_eq!(
+            classify_code_lengths(&[2, 2, 2]),
+            CodeCompleteness::Incomplete
+        );
+        assert_eq!(
+            classify_code_lengths(&[2, 2, 1]),
+            CodeCompleteness::Complete
+        );
     }
 
     #[test]
@@ -206,7 +215,11 @@ mod tests {
         let codes = canonical_codes(&lengths);
         assert_eq!(codes[0], (0, 0));
         assert_eq!(codes[2], (0, 0));
-        let used: Vec<u32> = codes.iter().filter(|(_, l)| *l > 0).map(|(c, _)| *c).collect();
+        let used: Vec<u32> = codes
+            .iter()
+            .filter(|(_, l)| *l > 0)
+            .map(|(c, _)| *c)
+            .collect();
         assert_eq!(used, vec![0b00, 0b01, 0b10, 0b11]);
     }
 }

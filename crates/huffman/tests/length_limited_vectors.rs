@@ -1,0 +1,101 @@
+//! Deterministic construction vectors for the package-merge length-limited
+//! Huffman code builder.
+
+use rgz_huffman::{classify_code_lengths, compute_code_lengths, CodeCompleteness};
+
+/// Kraft sum scaled by 2^15: a complete code sums to exactly 1 << 15.
+fn kraft_sum_scaled(lengths: &[u8]) -> u64 {
+    lengths
+        .iter()
+        .filter(|&&l| l > 0)
+        .map(|&l| 1u64 << (15 - l as u32))
+        .sum()
+}
+
+#[test]
+fn fibonacci_frequencies_give_a_complete_optimal_code() {
+    // Fibonacci weights maximally skew an unlimited Huffman code; with limit
+    // 15 and 7 symbols the optimum is still unconstrained.
+    let frequencies = [1u32, 1, 2, 3, 5, 8, 13];
+    let lengths = compute_code_lengths(&frequencies, 15).unwrap();
+    assert_eq!(classify_code_lengths(&lengths), CodeCompleteness::Complete);
+    assert_eq!(kraft_sum_scaled(&lengths), 1 << 15);
+    // Unconstrained Huffman cost for these weights is 78 bits; package-merge
+    // must match it when the limit does not bind.
+    let cost: u64 = frequencies
+        .iter()
+        .zip(&lengths)
+        .map(|(&f, &l)| f as u64 * l as u64)
+        .sum();
+    assert_eq!(cost, 78);
+}
+
+#[test]
+fn binding_limit_still_produces_a_complete_code() {
+    // With limit 3, the skewed weights are forced towards a flatter code.
+    let frequencies = [1u32, 1, 2, 3, 5, 8, 13];
+    let lengths = compute_code_lengths(&frequencies, 3).unwrap();
+    assert!(lengths.iter().all(|&l| l > 0 && l <= 3));
+    assert_eq!(classify_code_lengths(&lengths), CodeCompleteness::Complete);
+    // The only complete 7-symbol code within 3 bits is one 2-bit and six
+    // 3-bit codes; giving the 2-bit code to the heaviest symbol costs
+    // 13*2 + (8+5+3+2+1+1)*3 = 86 bits.
+    let cost: u64 = frequencies
+        .iter()
+        .zip(&lengths)
+        .map(|(&f, &l)| f as u64 * l as u64)
+        .sum();
+    assert_eq!(cost, 86);
+}
+
+#[test]
+fn more_frequent_symbols_never_get_longer_codes() {
+    let frequencies = [40u32, 1, 1, 30, 1, 20, 1, 10];
+    let lengths = compute_code_lengths(&frequencies, 15).unwrap();
+    for (i, &fi) in frequencies.iter().enumerate() {
+        for (j, &fj) in frequencies.iter().enumerate() {
+            if fi > fj {
+                assert!(
+                    lengths[i] <= lengths[j],
+                    "freq {fi} got length {} but freq {fj} got {}",
+                    lengths[i],
+                    lengths[j]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn uniform_power_of_two_alphabet_gets_a_flat_code() {
+    let frequencies = [7u32; 16];
+    let lengths = compute_code_lengths(&frequencies, 15).unwrap();
+    assert!(lengths.iter().all(|&l| l == 4), "lengths: {lengths:?}");
+}
+
+#[test]
+fn zero_frequency_symbols_get_no_code() {
+    let frequencies = [5u32, 0, 3, 0, 2];
+    let lengths = compute_code_lengths(&frequencies, 15).unwrap();
+    assert_eq!(lengths[1], 0);
+    assert_eq!(lengths[3], 0);
+    assert!(lengths[0] > 0 && lengths[2] > 0 && lengths[4] > 0);
+    assert_eq!(classify_code_lengths(&lengths), CodeCompleteness::Complete);
+}
+
+#[test]
+fn degenerate_alphabets_follow_deflate_conventions() {
+    // No used symbols: all-zero lengths.
+    assert_eq!(compute_code_lengths(&[0, 0, 0], 15).unwrap(), vec![0, 0, 0]);
+    // A single used symbol still gets one bit, not zero.
+    assert_eq!(compute_code_lengths(&[0, 9, 0], 15).unwrap(), vec![0, 1, 0]);
+}
+
+#[test]
+fn alphabet_too_large_for_the_limit_is_rejected() {
+    // 5 used symbols cannot fit in 2-bit codes (max 4 codewords).
+    assert!(compute_code_lengths(&[1u32; 5], 2).is_err());
+    // But exactly 4 symbols fit, with a flat 2-bit code.
+    let lengths = compute_code_lengths(&[1u32; 4], 2).unwrap();
+    assert_eq!(lengths, vec![2, 2, 2, 2]);
+}

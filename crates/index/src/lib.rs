@@ -394,7 +394,10 @@ mod tests {
         assert_eq!(restored.block_map.points(), index.block_map.points());
         for point in index.block_map.points() {
             assert_eq!(
-                restored.window_map.get(point.compressed_bit_offset).as_deref(),
+                restored
+                    .window_map
+                    .get(point.compressed_bit_offset)
+                    .as_deref(),
                 index.window_map.get(point.compressed_bit_offset).as_deref()
             );
         }

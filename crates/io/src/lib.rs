@@ -250,7 +250,10 @@ mod tests {
         std::fs::write(&path, &data).unwrap();
         let reader = SharedFileReader::open(&path).unwrap();
         assert_eq!(reader.size(), data.len() as u64);
-        assert_eq!(reader.read_range(1234, 4096).unwrap(), &data[1234..1234 + 4096]);
+        assert_eq!(
+            reader.read_range(1234, 4096).unwrap(),
+            &data[1234..1234 + 4096]
+        );
         std::fs::remove_file(&path).ok();
     }
 

@@ -23,12 +23,10 @@ fn main() {
     // Stream the decompressed data through a BufReader and process it.
     let options = ParallelGzipReaderOptions::default().with_chunk_size(512 * 1024);
     let start = std::time::Instant::now();
-    let reader =
-        ParallelGzipReader::from_bytes(compressed.clone(), options).unwrap();
+    let reader = ParallelGzipReader::from_bytes(compressed.clone(), options).unwrap();
     let mut records = 0u64;
     let mut bases = [0u64; 4];
-    let mut line_index = 0u64;
-    for line in BufReader::new(reader).lines() {
+    for (line_index, line) in BufReader::new(reader).lines().enumerate() {
         let line = line.unwrap();
         match line_index % 4 {
             0 => records += 1,
@@ -45,7 +43,6 @@ fn main() {
             }
             _ => {}
         }
-        line_index += 1;
     }
     println!(
         "rapidgzip pipeline: {records} records, A/C/G/T = {bases:?} in {:.2} s",
@@ -55,7 +52,11 @@ fn main() {
     // The same corpus also satisfies pugz's ASCII restriction, so the
     // baseline can decode it too (unlike arbitrary binary data).
     let start = std::time::Instant::now();
-    let pugz = PugzDecompressor { threads: 4, chunk_size: 512 * 1024, synchronized: true };
+    let pugz = PugzDecompressor {
+        threads: 4,
+        chunk_size: 512 * 1024,
+        synchronized: true,
+    };
     let restored = pugz.decompress(&compressed).unwrap();
     assert_eq!(restored.len(), data.len());
     println!(

@@ -53,7 +53,10 @@ fn main() {
         let start = std::time::Instant::now();
         random.seek(SeekFrom::Start(offset)).unwrap();
         random.read_exact(&mut buffer).unwrap();
-        assert_eq!(&buffer[..], &data[offset as usize..offset as usize + buffer.len()]);
+        assert_eq!(
+            &buffer[..],
+            &data[offset as usize..offset as usize + buffer.len()]
+        );
         println!(
             "random read of 64 KiB at offset {offset:>9}: {:.2} ms",
             start.elapsed().as_secs_f64() * 1e3

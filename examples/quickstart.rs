@@ -15,8 +15,11 @@ fn main() {
     println!("original size      : {:>12} bytes", data.len());
 
     let compressed = GzipWriter::default().compress(&data);
-    println!("compressed size    : {:>12} bytes (ratio {:.2})", compressed.len(),
-             data.len() as f64 / compressed.len() as f64);
+    println!(
+        "compressed size    : {:>12} bytes (ratio {:.2})",
+        compressed.len(),
+        data.len() as f64 / compressed.len() as f64
+    );
 
     // Parallel decompression with all cores; chunk size 512 KiB.
     let options = ParallelGzipReaderOptions::default().with_chunk_size(512 * 1024);
@@ -35,6 +38,9 @@ fn main() {
         reader.options().parallelization,
     );
     let statistics = reader.statistics();
-    println!("speculative chunks used: {}", statistics.speculative_chunks_used);
+    println!(
+        "speculative chunks used: {}",
+        statistics.speculative_chunks_used
+    );
     println!("on-demand chunks       : {}", statistics.on_demand_chunks);
 }

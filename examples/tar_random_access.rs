@@ -40,8 +40,7 @@ fn main() {
 
     // Locate the TAR members without decompressing everything again: the TAR
     // headers are parsed from the decompressed stream via seeks.
-    let mut indexed_reader =
-        ParallelGzipReader::with_index(shared, options, index).unwrap();
+    let mut indexed_reader = ParallelGzipReader::with_index(shared, options, index).unwrap();
     let toc = datagen::tar_entries(&archive);
 
     // Extract three files scattered across the archive by seeking directly

@@ -25,11 +25,20 @@ fn all_decompressors_agree_on_fastq_data() {
     .unwrap();
     assert_eq!(rapid.decompress_all().unwrap(), data);
 
-    let pugz = PugzDecompressor { threads: 4, chunk_size: 64 * 1024, synchronized: true };
+    let pugz = PugzDecompressor {
+        threads: 4,
+        chunk_size: 64 * 1024,
+        synchronized: true,
+    };
     assert_eq!(pugz.decompress(&gzip_file).unwrap(), data);
 
     assert_eq!(decompress_bgzf_parallel(&bgzf_file, 4).unwrap(), data);
-    assert_eq!(FramezipDecompressor { threads: 4 }.decompress(&framezip_file).unwrap(), data);
+    assert_eq!(
+        FramezipDecompressor { threads: 4 }
+            .decompress(&framezip_file)
+            .unwrap(),
+        data
+    );
 }
 
 #[test]
@@ -50,7 +59,11 @@ fn pugz_rejects_what_rapidgzip_accepts() {
     .unwrap();
     assert_eq!(rapid.decompress_all().unwrap(), data);
 
-    let pugz = PugzDecompressor { threads: 4, chunk_size: 64 * 1024, synchronized: true };
+    let pugz = PugzDecompressor {
+        threads: 4,
+        chunk_size: 64 * 1024,
+        synchronized: true,
+    };
     assert!(pugz.decompress(&compressed).is_err());
 }
 
@@ -59,7 +72,12 @@ fn framezip_single_frame_cannot_be_split_but_still_decodes() {
     let data = datagen::silesia_like(400_000, 32);
     let single = FramezipWriter::default().compress_single_frame(&data);
     assert_eq!(FramezipDecompressor::frame_count(&single).unwrap(), 1);
-    assert_eq!(FramezipDecompressor { threads: 8 }.decompress(&single).unwrap(), data);
+    assert_eq!(
+        FramezipDecompressor { threads: 8 }
+            .decompress(&single)
+            .unwrap(),
+        data
+    );
 }
 
 #[test]

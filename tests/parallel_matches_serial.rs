@@ -39,7 +39,12 @@ fn every_frontend_and_corpus_combination_round_trips() {
                 let serial = decompress(&compressed).unwrap();
                 assert_eq!(&serial, data, "serial {corpus_name} {}", frontend.label());
                 let parallel_output = parallel(&compressed, 4, 64 * 1024);
-                assert_eq!(&parallel_output, data, "parallel {corpus_name} {}", frontend.label());
+                assert_eq!(
+                    &parallel_output,
+                    data,
+                    "parallel {corpus_name} {}",
+                    frontend.label()
+                );
             }
         }
     }
@@ -53,7 +58,12 @@ fn pathological_single_block_and_stored_files() {
         CompressorFrontend::new(FrontendKind::Bgzf, 0),
     ] {
         let compressed = frontend.compress(&data);
-        assert_eq!(parallel(&compressed, 4, 32 * 1024), data, "{}", frontend.label());
+        assert_eq!(
+            parallel(&compressed, 4, 32 * 1024),
+            data,
+            "{}",
+            frontend.label()
+        );
     }
 }
 

@@ -26,7 +26,10 @@ fn seeks_are_equivalent_to_skipping() {
     for &offset in &[0u64, 1, 65_535, 65_536, 777_777, 1_400_000] {
         reader.seek(SeekFrom::Start(offset)).unwrap();
         reader.read_exact(&mut buffer).unwrap();
-        assert_eq!(&buffer[..], &data[offset as usize..offset as usize + buffer.len()]);
+        assert_eq!(
+            &buffer[..],
+            &data[offset as usize..offset as usize + buffer.len()]
+        );
     }
     // Backwards seek after reading forward.
     reader.seek(SeekFrom::Start(10)).unwrap();

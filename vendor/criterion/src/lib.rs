@@ -1,0 +1,269 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the macro and builder surface the workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, `Criterion`, `BenchmarkGroup`,
+//! `Bencher::iter`, `BenchmarkId`, `Throughput`) with a deliberately simple
+//! wall-clock measurement loop: warm up once, run `sample_size` timed
+//! samples, report the best sample and derived throughput to stdout. It has
+//! none of criterion's statistics, but it runs the same bench code with the
+//! same call shapes, so benches stay compiling and runnable offline.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement configuration and entry point, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(&id.render(), self.sample_size, None, |bencher| {
+            routine(bencher)
+        });
+        self
+    }
+}
+
+/// A set of benchmarks sharing a name prefix and throughput definition.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Declares how much data one iteration processes, enabling
+    /// bytes-per-second reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks a routine under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.render());
+        run_benchmark(&label, self.sample_size, self.throughput, |bencher| {
+            routine(bencher)
+        });
+        self
+    }
+
+    /// Benchmarks a routine that borrows an input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.render());
+        run_benchmark(&label, self.sample_size, self.throughput, |bencher| {
+            routine(bencher, input)
+        });
+        self
+    }
+
+    /// Ends the group (reporting is per-benchmark, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id distinguished only by its parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match (&self.function, &self.parameter) {
+            (Some(function), Some(parameter)) => format!("{function}/{parameter}"),
+            (Some(function), None) => function.clone(),
+            (None, Some(parameter)) => parameter.clone(),
+            (None, None) => String::from("benchmark"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self {
+            function: Some(name.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        Self {
+            function: Some(name),
+            parameter: None,
+        }
+    }
+}
+
+/// Amount of work one iteration performs, for derived rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timing loop handle passed to each benchmark routine.
+pub struct Bencher {
+    best: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times one sample of `routine` and keeps the fastest observed sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        black_box(routine());
+        let elapsed = start.elapsed();
+        self.best = Some(match self.best {
+            Some(best) => best.min(elapsed),
+            None => elapsed,
+        });
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut routine: F,
+) {
+    let mut bencher = Bencher { best: None };
+    // Warm-up sample, then the timed samples; `Bencher::iter` keeps the best.
+    for _ in 0..=sample_size {
+        routine(&mut bencher);
+    }
+    let best = bencher.best.unwrap_or_default();
+    let rate = throughput.and_then(|throughput| {
+        let seconds = best.as_secs_f64();
+        if seconds <= 0.0 {
+            return None;
+        }
+        Some(match throughput {
+            Throughput::Bytes(bytes) => {
+                format!(" ({:.1} MiB/s)", bytes as f64 / seconds / (1 << 20) as f64)
+            }
+            Throughput::Elements(elements) => {
+                format!(" ({:.0} elem/s)", elements as f64 / seconds)
+            }
+        })
+    });
+    println!(
+        "bench {label}: best {best:?} over {sample_size} samples{}",
+        rate.unwrap_or_default()
+    );
+}
+
+/// Defines a function that runs a list of benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Defines `main` for a bench binary built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut criterion = Criterion::default().sample_size(3);
+        let mut group = criterion.benchmark_group("smoke");
+        group.throughput(Throughput::Bytes(1024));
+        let mut runs = 0usize;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7u32, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+        assert!(runs >= 3);
+    }
+}

@@ -1,0 +1,293 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Implements the subset of the rand 0.8 API the workspace uses — `StdRng`,
+//! `SeedableRng::{seed_from_u64, from_seed}`, and `Rng::{gen, gen_range,
+//! gen_bool, fill}` — on top of a xoshiro256** generator seeded through
+//! SplitMix64. Unlike the real `StdRng`, the output stream here is
+//! *guaranteed* stable across platforms and releases, which is exactly what
+//! the deterministic test corpora need.
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let remainder = chunks.into_remainder();
+        if !remainder.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            remainder.copy_from_slice(&bytes[..remainder.len()]);
+        }
+    }
+}
+
+/// Construction of reproducible generators from seeds.
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Builds a generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds a generator from a 64-bit seed via SplitMix64 expansion.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_exact_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            chunk.copy_from_slice(&(z ^ (z >> 31)).to_le_bytes());
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types that can be sampled uniformly from the full generator output.
+pub trait Standard: Sized {
+    /// Draws one uniformly distributed value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniformly random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Integer types usable as `gen_range` bounds.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Converts to the widest intermediate type.
+    fn to_u64(self) -> u64;
+    /// Converts back from the widest intermediate type.
+    fn from_u64(value: u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            fn from_u64(value: u64) -> Self {
+                value as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_signed {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn to_u64(self) -> u64 {
+                // Order-preserving map into u64: shift the signed range up so
+                // that MIN maps to 0.
+                (self as i64).wrapping_sub(i64::MIN) as u64
+            }
+            fn from_u64(value: u64) -> Self {
+                (value as i64).wrapping_add(i64::MIN) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_signed!(i8, i16, i32, i64, isize);
+
+/// Ranges accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Bounds as an inclusive `[low, high]` pair.
+    fn bounds(self) -> (T, T);
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn bounds(self) -> (T, T) {
+        assert!(self.start < self.end, "gen_range: empty range");
+        (self.start, T::from_u64(self.end.to_u64() - 1))
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn bounds(self) -> (T, T) {
+        let (start, end) = self.into_inner();
+        assert!(start <= end, "gen_range: empty range");
+        (start, end)
+    }
+}
+
+/// User-facing convenience methods, blanket-implemented for every generator.
+pub trait Rng: RngCore {
+    /// Draws a uniformly distributed value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws a value uniformly from `range` (unbiased via rejection).
+    fn gen_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let (low, high) = range.bounds();
+        let (low_w, high_w) = (low.to_u64(), high.to_u64());
+        let span = high_w - low_w + 1; // span == 0 means the full u64 range
+        if span == 0 {
+            return T::from_u64(self.next_u64());
+        }
+        // Rejection sampling: retry draws in the biased tail.
+        let zone = u64::MAX - (u64::MAX - span + 1) % span;
+        loop {
+            let draw = self.next_u64();
+            if draw <= zone {
+                return T::from_u64(low_w + draw % span);
+            }
+        }
+    }
+
+    /// Returns `true` with probability `probability`.
+    fn gen_bool(&mut self, probability: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "gen_bool: p out of range"
+        );
+        f64::sample(self) < probability
+    }
+
+    /// Fills the buffer with random bytes.
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest);
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Generator namespace mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator (stable across platforms).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.state[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.state[1] << 17;
+            self.state[2] ^= self.state[0];
+            self.state[3] ^= self.state[1];
+            self.state[1] ^= self.state[2];
+            self.state[0] ^= self.state[3];
+            self.state[2] ^= t;
+            self.state[3] = self.state[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut state = [0u64; 4];
+            for (word, chunk) in state.iter_mut().zip(seed.chunks_exact(8)) {
+                *word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            // xoshiro must not start from the all-zero state.
+            if state.iter().all(|&w| w == 0) {
+                state = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0xBF58_476D_1CE4_E5B9,
+                    0x94D0_49BB_1331_11EB,
+                    0x2545_F491_4F6C_DD1D,
+                ];
+            }
+            Self { state }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let left: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let right: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        assert_eq!(left, right);
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(left, (0..64).map(|_| c.next_u64()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let exclusive = rng.gen_range(10..20u32);
+            assert!((10..20).contains(&exclusive));
+            let inclusive = rng.gen_range(b'a'..=b'z');
+            assert!(inclusive.is_ascii_lowercase());
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_every_value() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_probability_is_plausible() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.1)).count();
+        assert!((500..1500).contains(&hits), "p=0.1 produced {hits}/10000");
+    }
+
+    #[test]
+    fn fill_bytes_handles_unaligned_lengths() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut buffer = [0u8; 13];
+        rng.fill(&mut buffer);
+        assert!(buffer.iter().any(|&b| b != 0));
+    }
+}
