@@ -9,7 +9,11 @@
 //!       --count-lines         count newlines instead of writing the output
 //!       --export-index <PATH> write the seek-point index to PATH
 //!       --import-index <PATH> load a seek-point index from PATH
+//!       --index-format <FMT>  exported index format: v1 (raw windows) or
+//!                             v2 (compressed windows, default)
 //!       --serial              use the single-threaded decoder (baseline)
+//!   -v, --verbose             print reader statistics and index/window
+//!                             memory usage to stderr after the run
 //!   -o, --output <PATH>       write output to PATH instead of stdout
 //!   -h, --help                show this help
 //! ```
@@ -18,7 +22,7 @@ use std::io::Write;
 use std::process::ExitCode;
 
 use rgz_core::{ParallelGzipReader, ParallelGzipReaderOptions};
-use rgz_index::GzipIndex;
+use rgz_index::{GzipIndex, IndexFormat};
 use rgz_io::SharedFileReader;
 
 struct Options {
@@ -28,13 +32,16 @@ struct Options {
     count_lines: bool,
     export_index: Option<String>,
     import_index: Option<String>,
+    index_format: IndexFormat,
     serial: bool,
+    verbose: bool,
     output: Option<String>,
 }
 
 fn print_usage() {
     eprintln!("usage: rgzip [-d] [-P N] [--chunk-size KiB] [--count-lines]");
-    eprintln!("             [--export-index PATH] [--import-index PATH] [--serial]");
+    eprintln!("             [--export-index PATH] [--import-index PATH]");
+    eprintln!("             [--index-format v1|v2] [--serial] [-v]");
     eprintln!("             [-o OUTPUT] FILE");
 }
 
@@ -49,7 +56,9 @@ fn parse_arguments() -> Result<Options, String> {
         count_lines: false,
         export_index: None,
         import_index: None,
+        index_format: IndexFormat::default(),
         serial: false,
+        verbose: false,
         output: None,
     };
     let next_value = |arguments: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -65,6 +74,7 @@ fn parse_arguments() -> Result<Options, String> {
             }
             "-d" | "--decompress" => {}
             "--serial" => options.serial = true,
+            "-v" | "--verbose" => options.verbose = true,
             "--count-lines" => options.count_lines = true,
             "-P" | "--threads" => {
                 options.threads = next_value(&mut arguments, "-P")?
@@ -81,6 +91,9 @@ fn parse_arguments() -> Result<Options, String> {
             }
             "--import-index" => {
                 options.import_index = Some(next_value(&mut arguments, "--import-index")?);
+            }
+            "--index-format" => {
+                options.index_format = next_value(&mut arguments, "--index-format")?.parse()?;
             }
             "-o" | "--output" => {
                 options.output = Some(next_value(&mut arguments, "-o")?);
@@ -114,6 +127,9 @@ fn run(options: &Options) -> Result<(), String> {
         let compressed = std::fs::read(&options.file)
             .map_err(|e| format!("cannot read {}: {e}", options.file))?;
         let data = rgz_gzip::decompress(&compressed).map_err(|e| e.to_string())?;
+        if options.verbose {
+            eprintln!("rgzip: serial decoder: no chunk or index statistics");
+        }
         total_bytes = data.len() as u64;
         if options.count_lines {
             line_count = data.iter().filter(|&&b| b == b'\n').count() as u64;
@@ -157,10 +173,46 @@ fn run(options: &Options) -> Result<(), String> {
 
         if let Some(path) = &options.export_index {
             let index = reader.build_full_index().map_err(|e| e.to_string())?;
-            std::fs::write(path, index.export()).map_err(|e| e.to_string())?;
+            let serialized = index.export_as(options.index_format);
+            std::fs::write(path, &serialized).map_err(|e| e.to_string())?;
             eprintln!(
-                "rgzip: exported index with {} seek points to {path}",
-                index.block_map.len()
+                "rgzip: exported {:?} index with {} seek points ({} bytes) to {path}",
+                options.index_format,
+                index.block_map.len(),
+                serialized.len()
+            );
+        }
+
+        if options.verbose {
+            let statistics = reader.statistics();
+            eprintln!(
+                "rgzip: chunks: {} speculative, {} on-demand, {} mismatches, \
+                 {} prefetches issued, {} decoded from index",
+                statistics.speculative_chunks_used,
+                statistics.on_demand_chunks,
+                statistics.speculative_mismatches,
+                statistics.prefetches_issued,
+                statistics.index_chunks
+            );
+            let windows = reader.window_statistics();
+            let index = reader.index();
+            eprintln!(
+                "rgzip: index: {} seek points, {} windows; window memory: \
+                 {} raw -> {} stored bytes ({:.2}x), {} pending compressions",
+                index.block_map.len(),
+                windows.windows,
+                windows.original_bytes,
+                windows.stored_bytes,
+                windows.compression_ratio(),
+                windows.pending_compressions
+            );
+            eprintln!(
+                "rgzip: window cache: {} hot ({} hits, {} misses, {} evictions), {} corrupt",
+                windows.hot_windows,
+                windows.hot_cache.hits,
+                windows.hot_cache.misses,
+                windows.hot_cache.evictions,
+                windows.corrupt_windows
             );
         }
     }

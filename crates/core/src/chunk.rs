@@ -36,6 +36,10 @@ pub struct ChunkResult {
     pub data: Vec<u8>,
     /// Whether the end of the compressed file was reached.
     pub reached_end_of_file: bool,
+    /// Which bytes of the preceding window the chunk referenced, as sorted
+    /// marker-space `(offset, length)` runs — the index uses this to store a
+    /// sparsified window for the chunk's seek point.
+    pub window_usage: Vec<(u32, u32)>,
 }
 
 /// Result of a speculative (two-stage) chunk decode.
@@ -175,11 +179,17 @@ fn decode_direct_in_range(
     let mut data = Vec::new();
     let mut first_call = true;
     let mut reached_end_of_file = false;
+    let mut window_usage = Vec::new();
     loop {
         let call_window = if first_call { window } else { &[] };
         first_call = false;
         let outcome = inflate(&mut reader, call_window, &mut data, relative_stop)
             .map_err(CoreError::Deflate)?;
+        if window_usage.is_empty() {
+            // Only the first member of the chunk can reference the preceding
+            // window; later inflate calls get an empty window.
+            window_usage = outcome.window_usage.clone();
+        }
         match outcome.stop_reason {
             StopReason::StopOffsetReached => break,
             StopReason::EndOfInput => {
@@ -199,6 +209,7 @@ fn decode_direct_in_range(
         end_bit_offset: range_start_bits + reader.position(),
         data,
         reached_end_of_file,
+        window_usage,
     })
 }
 

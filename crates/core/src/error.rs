@@ -3,6 +3,7 @@
 use rgz_deflate::DeflateError;
 use rgz_gzip::GzipError;
 use rgz_index::IndexError;
+use rgz_window::WindowError;
 
 /// Errors produced by the parallel gzip reader.
 #[derive(Debug)]
@@ -15,6 +16,8 @@ pub enum CoreError {
     Deflate(DeflateError),
     /// Importing an index failed.
     Index(IndexError),
+    /// A stored seek-point window failed validation when it was needed.
+    Window(WindowError),
     /// No DEFLATE block could be found inside a chunk even though more
     /// compressed data follows; decompression cannot be parallelized past
     /// this point without falling back to sequential decoding.
@@ -44,6 +47,7 @@ impl std::fmt::Display for CoreError {
             CoreError::Gzip(e) => write!(f, "gzip error: {e}"),
             CoreError::Deflate(e) => write!(f, "DEFLATE error: {e}"),
             CoreError::Index(e) => write!(f, "index error: {e}"),
+            CoreError::Window(e) => write!(f, "seek-point window error: {e}"),
             CoreError::NoBlockFound { search_start_bits } => write!(
                 f,
                 "no DEFLATE block found searching from bit offset {search_start_bits}"
@@ -87,6 +91,12 @@ impl From<IndexError> for CoreError {
     }
 }
 
+impl From<WindowError> for CoreError {
+    fn from(error: WindowError) -> Self {
+        CoreError::Window(error)
+    }
+}
+
 impl From<CoreError> for std::io::Error {
     fn from(error: CoreError) -> Self {
         match error {
@@ -110,6 +120,12 @@ mod tests {
         assert!(deflate_error.to_string().contains("DEFLATE"));
         let index_error: CoreError = IndexError::BadMagic.into();
         assert!(index_error.to_string().contains("index"));
+        let window_error: CoreError = WindowError::ChecksumMismatch {
+            expected: 1,
+            actual: 2,
+        }
+        .into();
+        assert!(window_error.to_string().contains("window"));
         let back_to_io: std::io::Error = CoreError::NoBlockFound {
             search_start_bits: 5,
         }

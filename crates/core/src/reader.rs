@@ -6,7 +6,7 @@ use std::io::{Read, Seek, SeekFrom};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use rgz_deflate::{contains_markers, replace_markers, resolve_window};
+use rgz_deflate::{replace_markers, resolve_window, WindowUsage};
 use rgz_fetcher::{Cache, TaskHandle, ThreadPool};
 use rgz_index::{GzipIndex, SeekPoint, WINDOW_SIZE};
 use rgz_io::{FileReader, SharedFileReader};
@@ -142,10 +142,13 @@ impl ParallelGzipReader {
         options: ParallelGzipReaderOptions,
     ) -> Result<Self, CoreError> {
         let parallelization = options.parallelization.max(1);
+        let pool = Arc::new(ThreadPool::new(parallelization));
         let mut index = GzipIndex::new();
         index.compressed_size = reader.size();
+        // Seek-point windows compress on the shared pool as they are stored.
+        index.window_map.set_pool(pool.clone());
         Ok(Self {
-            pool: Arc::new(ThreadPool::new(parallelization)),
+            pool,
             state: Mutex::new(ReaderState {
                 index,
                 pass: SequentialPass {
@@ -198,6 +201,7 @@ impl ParallelGzipReader {
             state.pass.finished = true;
             state.pass.next_uncompressed_offset = uncompressed_size;
             state.index = index;
+            state.index.window_map.set_pool(this.pool.clone());
             if state.index.uncompressed_size == 0 {
                 state.index.uncompressed_size = state.index.block_map.uncompressed_size();
                 state.pass.next_uncompressed_offset = state.index.uncompressed_size;
@@ -214,6 +218,12 @@ impl ParallelGzipReader {
     /// Behaviour counters.
     pub fn statistics(&self) -> ReaderStatistics {
         self.state.lock().statistics
+    }
+
+    /// Memory and cache counters of the seek-point window store (compressed
+    /// window bytes vs. the raw bytes a v1-style index would hold).
+    pub fn window_statistics(&self) -> rgz_window::WindowStoreStatistics {
+        self.state.lock().index.window_map.statistics()
     }
 
     /// Total decompressed size, if already known (i.e. after a full pass or
@@ -310,12 +320,18 @@ impl ParallelGzipReader {
         let speculative = self.take_speculative(start_bit, guess_index)?;
 
         let (data_handle, end_bit, chunk_length, window_for_next, reached_end_of_file);
+        // Which window bytes the chunk actually referenced; the seek point
+        // stores a sparsified window based on this.
+        let window_usage;
         match speculative {
             Some(chunk) if chunk.found_bit_offset == start_bit && start_bit != 0 => {
+                // Non-empty usage is exactly "some symbol is a marker", so a
+                // second contains_markers scan over the symbols is redundant.
+                window_usage = WindowUsage::from_symbols(&chunk.symbols).intervals();
                 // Resolve the trailing window serially, then dispatch the full
                 // marker replacement to the pool (§2.2: only the window
                 // propagation is inherently sequential).
-                let next_window = if contains_markers(&chunk.symbols) {
+                let next_window = if !window_usage.is_empty() {
                     resolve_window(&chunk.symbols, &window).map_err(CoreError::Deflate)?
                 } else {
                     let resolved_tail: Vec<u8> = chunk
@@ -362,6 +378,7 @@ impl ParallelGzipReader {
                 end_bit = result.end_bit_offset;
                 chunk_length = result.data.len() as u64;
                 reached_end_of_file = result.reached_end_of_file;
+                window_usage = result.window_usage;
                 let tail_start = result.data.len().saturating_sub(WINDOW_SIZE);
                 let mut next_window: Vec<u8> = Vec::with_capacity(WINDOW_SIZE);
                 if result.data.len() < WINDOW_SIZE {
@@ -377,13 +394,14 @@ impl ParallelGzipReader {
         }
 
         let mut state = self.state.lock();
-        state.index.add_seek_point(
+        state.index.add_seek_point_sparse(
             SeekPoint {
                 compressed_bit_offset: start_bit,
                 uncompressed_offset,
                 uncompressed_size: chunk_length,
             },
             &window,
+            &window_usage,
         );
         state.chunk_data.insert(start_bit, data_handle);
         state.pass.next_start_bit = end_bit;
@@ -505,11 +523,12 @@ impl ParallelGzipReader {
         }
 
         // Random access / index fast path: decode on demand with the stored
-        // window.
+        // window, lazily re-inflated from its compressed record.
         let window = {
             let state = self.state.lock();
-            state.index.window_map.get(key).unwrap_or_default()
+            state.index.window_map.try_get(key)
         };
+        let window = window.map_err(CoreError::Window)?.unwrap_or_default();
         let stop_bit = {
             let state = self.state.lock();
             state
@@ -753,6 +772,67 @@ mod tests {
         second_pass.seek(SeekFrom::Start(1_000_000)).unwrap();
         second_pass.read_exact(&mut buffer).unwrap();
         assert_eq!(&buffer[..], &data[1_000_000..1_004_096]);
+    }
+
+    #[test]
+    fn windows_are_stored_compressed_and_sparse() {
+        let data = silesia_like(2 * 1024 * 1024, 40);
+        let compressed = GzipWriter::default().compress(&data);
+        let mut reader =
+            ParallelGzipReader::from_bytes(compressed.clone(), options(4, 128 * 1024)).unwrap();
+        let index = reader.build_full_index().unwrap();
+        assert!(index.block_map.len() > 4);
+
+        // The v2 export of the sparse/compressed windows must round-trip into
+        // a reader whose output is byte-identical, through seeks included.
+        // (Exporting also waits for any still-running window compressions.)
+        let serialized = index.export_as(rgz_index::IndexFormat::V2);
+
+        let statistics = reader.window_statistics();
+        assert_eq!(statistics.pending_compressions, 0);
+        assert!(
+            statistics.stored_bytes * 2 < statistics.original_bytes,
+            "windows not compressed: {statistics:?}"
+        );
+        let imported = GzipIndex::import(&serialized).unwrap();
+        let mut second = ParallelGzipReader::with_index(
+            SharedFileReader::from_bytes(compressed),
+            options(4, 128 * 1024),
+            imported,
+        )
+        .unwrap();
+        assert_eq!(second.decompress_all().unwrap(), data);
+        let mut buffer = vec![0u8; 8192];
+        second.seek(SeekFrom::Start(1_500_000)).unwrap();
+        second.read_exact(&mut buffer).unwrap();
+        assert_eq!(&buffer[..], &data[1_500_000..1_508_192]);
+
+        // With a single-chunk resolved cache, alternating between two far
+        // apart offsets forces repeated decodes of the same chunks — the
+        // second round must find its decompressed windows in the hot cache.
+        let imported = GzipIndex::import(&serialized).unwrap();
+        let mut third = ParallelGzipReader::with_index(
+            SharedFileReader::from_bytes(GzipWriter::default().compress(&data)),
+            ParallelGzipReaderOptions {
+                parallelization: 2,
+                chunk_size: 128 * 1024,
+                prefetch_degree: None,
+                resolved_cache_chunks: 1,
+            },
+            imported,
+        )
+        .unwrap();
+        for _ in 0..2 {
+            for offset in [400_000u64, 1_500_000] {
+                third.seek(SeekFrom::Start(offset)).unwrap();
+                third.read_exact(&mut buffer).unwrap();
+                assert_eq!(
+                    &buffer[..],
+                    &data[offset as usize..offset as usize + buffer.len()]
+                );
+            }
+        }
+        assert!(third.window_statistics().hot_cache.hits > 0);
     }
 
     #[test]

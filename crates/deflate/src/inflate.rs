@@ -16,6 +16,7 @@ use crate::block::{
     read_stored_header, BlockCodes, BlockType,
 };
 use crate::constants::{END_OF_BLOCK, WINDOW_SIZE};
+use crate::markers::WindowUsage;
 use crate::DeflateError;
 
 /// Marker base: output symbols `>= MARKER_BASE` denote offset
@@ -61,6 +62,11 @@ pub struct InflateOutcome {
     pub stop_reason: StopReason,
     /// Bit position after the last consumed bit.
     pub end_position: u64,
+    /// Which bytes of the preceding 32 KiB window the decoded data actually
+    /// referenced, as sorted `(offset, length)` runs in marker space (see
+    /// [`crate::markers::WindowUsage`]).  Empty when the data is
+    /// self-contained.
+    pub window_usage: Vec<(u32, u32)>,
 }
 
 impl InflateOutcome {
@@ -90,6 +96,10 @@ fn should_stop_before_block(reader: &mut BitReader<'_>, stop_offset: u64) -> boo
 struct ByteSink<'w> {
     window: &'w [u8],
     out: Vec<u8>,
+    usage: WindowUsage,
+    /// Maximum total output length; decoding errors out once exceeded (used
+    /// to bound the expansion of untrusted streams).
+    limit: usize,
 }
 
 impl ByteSink<'_> {
@@ -106,6 +116,12 @@ impl ByteSink<'_> {
                 distance,
                 available: position + self.window.len(),
             });
+        }
+        if distance > position {
+            // The first `distance - position` bytes come out of the preceding
+            // window; record them so the index can sparsify the stored copy.
+            let reach = distance - position;
+            self.usage.mark(WINDOW_SIZE - reach, length.min(reach));
         }
         for i in 0..length {
             let source = position + i;
@@ -134,10 +150,26 @@ pub fn inflate(
     out: &mut Vec<u8>,
     stop_offset: u64,
 ) -> Result<InflateOutcome, DeflateError> {
+    inflate_limited(reader, window, out, stop_offset, usize::MAX)
+}
+
+/// [`inflate`] with an upper bound on the total length of `out`: decoding an
+/// *untrusted* stream fails with [`DeflateError::OutputLimitExceeded`] as
+/// soon as it expands past `output_limit` (give or take one match), instead
+/// of ballooning a hostile 32 KiB payload into tens of megabytes.
+pub fn inflate_limited(
+    reader: &mut BitReader<'_>,
+    window: &[u8],
+    out: &mut Vec<u8>,
+    stop_offset: u64,
+    output_limit: usize,
+) -> Result<InflateOutcome, DeflateError> {
     let start_len = out.len();
     let mut sink = ByteSink {
         window,
         out: std::mem::take(out),
+        usage: WindowUsage::new(),
+        limit: output_limit,
     };
     let base = start_len as u64;
 
@@ -161,6 +193,9 @@ pub fn inflate(
             BlockType::Stored => {
                 let length = read_stored_header(reader)?;
                 let start = sink.out.len();
+                if start.saturating_add(length) > sink.limit {
+                    return Err(DeflateError::OutputLimitExceeded { limit: sink.limit });
+                }
                 sink.out.resize(start + length, 0);
                 reader.read_bytes(&mut sink.out[start..])?;
             }
@@ -182,6 +217,7 @@ pub fn inflate(
         blocks,
         stop_reason,
         end_position: reader.position(),
+        window_usage: sink.usage.intervals(),
     })
 }
 
@@ -191,6 +227,11 @@ fn decode_compressed_block_bytes(
     sink: &mut ByteSink<'_>,
 ) -> Result<(), DeflateError> {
     loop {
+        // Checked once per symbol, so a hostile stream can overshoot the
+        // limit by at most one match (258 bytes) before erroring out.
+        if sink.out.len() > sink.limit {
+            return Err(DeflateError::OutputLimitExceeded { limit: sink.limit });
+        }
         let symbol = codes
             .literal
             .decode(reader)
@@ -213,6 +254,7 @@ fn decode_compressed_block_bytes(
 /// and values `>= MARKER_BASE` are markers into the unknown window.
 struct MarkerSink {
     out: Vec<u16>,
+    usage: WindowUsage,
 }
 
 impl MarkerSink {
@@ -233,6 +275,11 @@ impl MarkerSink {
                 distance,
                 available: WINDOW_SIZE,
             });
+        }
+        let start_position = self.out.len() - base;
+        if distance > start_position {
+            let reach = distance - start_position;
+            self.usage.mark(WINDOW_SIZE - reach, length.min(reach));
         }
         for _ in 0..length {
             // Position within this inflate call (excluding data decoded by
@@ -269,6 +316,7 @@ pub fn inflate_two_stage(
     let base = out.len();
     let mut sink = MarkerSink {
         out: std::mem::take(out),
+        usage: WindowUsage::new(),
     };
 
     let mut blocks = Vec::new();
@@ -312,6 +360,7 @@ pub fn inflate_two_stage(
         blocks,
         stop_reason,
         end_position: reader.position(),
+        window_usage: sink.usage.intervals(),
     })
 }
 
@@ -462,6 +511,66 @@ mod tests {
     }
 
     #[test]
+    fn one_and_two_stage_decoders_report_the_same_window_usage() {
+        let mut data = Vec::new();
+        for i in 0..60_000u32 {
+            data.extend_from_slice(format!("record {:06} ACGTACGT\n", i % 997).as_bytes());
+        }
+        let options = CompressorOptions {
+            block_size: 8 * 1024,
+            ..Default::default()
+        };
+        let compressed = DeflateCompressor::new(options).compress(&data);
+        let mut reader = BitReader::new(&compressed);
+        let mut full = Vec::new();
+        let outcome = inflate(&mut reader, &[], &mut full, u64::MAX).unwrap();
+        // A stream decoded from its start references no preceding window.
+        assert!(outcome.window_usage.is_empty());
+
+        let boundary = outcome
+            .blocks
+            .iter()
+            .find(|b| b.uncompressed_offset > WINDOW_SIZE as u64)
+            .copied()
+            .expect("need a block past the first 32 KiB");
+        let split = boundary.uncompressed_offset as usize;
+        let window = &data[split - WINDOW_SIZE..split];
+
+        // Two-stage decode: usage from the outcome must match a scan of the
+        // produced marker symbols.
+        let mut reader = BitReader::new(&compressed);
+        reader.seek_to_bit(boundary.bit_offset).unwrap();
+        let mut symbols = Vec::new();
+        let two_stage = inflate_two_stage(&mut reader, &mut symbols, u64::MAX).unwrap();
+        assert!(!two_stage.window_usage.is_empty());
+        assert_eq!(
+            two_stage.window_usage,
+            WindowUsage::from_symbols(&symbols).intervals()
+        );
+
+        // One-stage decode of the same range with the true window must report
+        // the same usage.
+        let mut reader = BitReader::new(&compressed);
+        reader.seek_to_bit(boundary.bit_offset).unwrap();
+        let mut tail = Vec::new();
+        let one_stage = inflate(&mut reader, window, &mut tail, u64::MAX).unwrap();
+        assert_eq!(one_stage.window_usage, two_stage.window_usage);
+
+        // Zeroing every *unreferenced* window byte must not change the decode.
+        let mut masked = vec![0u8; WINDOW_SIZE];
+        for &(offset, length) in &one_stage.window_usage {
+            let (offset, length) = (offset as usize, length as usize);
+            masked[offset..offset + length].copy_from_slice(&window[offset..offset + length]);
+        }
+        let mut reader = BitReader::new(&compressed);
+        reader.seek_to_bit(boundary.bit_offset).unwrap();
+        let mut from_masked = Vec::new();
+        inflate(&mut reader, &masked, &mut from_masked, u64::MAX).unwrap();
+        assert_eq!(from_masked, tail);
+        assert_eq!(&tail[..], &data[split..]);
+    }
+
+    #[test]
     fn stop_offset_halts_before_later_blocks() {
         let data: Vec<u8> = (0..100_000u32)
             .flat_map(|i| format!("{i} ").into_bytes())
@@ -509,6 +618,8 @@ mod tests {
         let mut sink = ByteSink {
             window: &[],
             out: Vec::new(),
+            usage: WindowUsage::new(),
+            limit: usize::MAX,
         };
         assert!(matches!(
             sink.copy_match(5, 3),

@@ -21,9 +21,12 @@ pub mod markers;
 pub use block::{BlockType, DynamicHeader};
 pub use compress::{write_stored_block, CompressionLevel, CompressorOptions, DeflateCompressor};
 pub use inflate::{
-    inflate, inflate_two_stage, BlockBoundary, InflateOutcome, StopReason, MARKER_BASE,
+    inflate, inflate_limited, inflate_two_stage, BlockBoundary, InflateOutcome, StopReason,
+    MARKER_BASE,
 };
-pub use markers::{contains_markers, replace_markers, replace_markers_into, resolve_window};
+pub use markers::{
+    contains_markers, replace_markers, replace_markers_into, resolve_window, WindowUsage,
+};
 
 use rgz_huffman::HuffmanError;
 
@@ -64,6 +67,12 @@ pub enum DeflateError {
     InvalidMarkerSymbol(u16),
     /// The input ended in the middle of a block.
     UnexpectedEof,
+    /// Decoding produced more output than the caller-imposed bound (only
+    /// raised by [`inflate_limited`], which guards untrusted streams).
+    OutputLimitExceeded {
+        /// The output bound that was exceeded.
+        limit: usize,
+    },
 }
 
 impl std::fmt::Display for DeflateError {
@@ -112,6 +121,9 @@ impl std::fmt::Display for DeflateError {
                 write!(f, "invalid 16-bit symbol {s} during marker replacement")
             }
             DeflateError::UnexpectedEof => write!(f, "unexpected end of DEFLATE stream"),
+            DeflateError::OutputLimitExceeded { limit } => {
+                write!(f, "decoded output exceeds the {limit} byte bound")
+            }
         }
     }
 }

@@ -11,6 +11,123 @@ pub fn contains_markers(symbols: &[u16]) -> bool {
     symbols.iter().any(|&s| s >= MARKER_BASE)
 }
 
+/// Tracks which bytes of the 32 KiB window preceding a chunk are actually
+/// referenced by the chunk's back-references (sparsity tracking).
+///
+/// Offsets are in *marker space*: 0 is the oldest possible window byte
+/// (32 KiB before the chunk start), `WINDOW_SIZE - 1` the byte immediately
+/// before the chunk — the same coordinate system marker symbols use.  Most
+/// chunks reference only a small, scattered subset of their window, which the
+/// seek-point index exploits by dropping or zeroing unreferenced bytes before
+/// compressing the stored window.
+#[derive(Clone, PartialEq, Eq)]
+pub struct WindowUsage {
+    bits: Vec<u64>,
+}
+
+impl std::fmt::Debug for WindowUsage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WindowUsage")
+            .field("used_bytes", &self.used_bytes())
+            .field("min_offset", &self.min_offset())
+            .finish()
+    }
+}
+
+impl Default for WindowUsage {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WindowUsage {
+    /// Creates an empty usage map (no window byte referenced).
+    pub fn new() -> Self {
+        Self {
+            bits: vec![0u64; WINDOW_SIZE / 64],
+        }
+    }
+
+    /// Marks `length` window bytes starting at marker-space `offset` as used.
+    /// Ranges reaching past `WINDOW_SIZE` are clamped.
+    pub fn mark(&mut self, offset: usize, length: usize) {
+        let end = (offset + length).min(WINDOW_SIZE);
+        for bit in offset.min(WINDOW_SIZE)..end {
+            self.bits[bit / 64] |= 1u64 << (bit % 64);
+        }
+    }
+
+    /// Whether no window byte is referenced at all.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&word| word == 0)
+    }
+
+    /// Number of referenced window bytes.
+    pub fn used_bytes(&self) -> usize {
+        self.bits
+            .iter()
+            .map(|word| word.count_ones() as usize)
+            .sum()
+    }
+
+    /// The smallest referenced marker-space offset (i.e. the furthest the
+    /// chunk reaches back into its window), if any.
+    pub fn min_offset(&self) -> Option<usize> {
+        self.bits
+            .iter()
+            .position(|&word| word != 0)
+            .map(|index| index * 64 + self.bits[index].trailing_zeros() as usize)
+    }
+
+    /// Maximal runs of referenced bytes as sorted `(offset, length)` pairs.
+    pub fn intervals(&self) -> Vec<(u32, u32)> {
+        let mut intervals = Vec::new();
+        let mut run_start: Option<usize> = None;
+        for (word_index, &word) in self.bits.iter().enumerate() {
+            // Whole-word fast paths keep this a 512-iteration scan for the
+            // common all-clear map (and for dense runs).
+            let bit_base = word_index * 64;
+            if word == 0 {
+                if let Some(start) = run_start.take() {
+                    intervals.push((start as u32, (bit_base - start) as u32));
+                }
+                continue;
+            }
+            if word == u64::MAX {
+                run_start.get_or_insert(bit_base);
+                continue;
+            }
+            for offset_in_word in 0..64 {
+                let set = word & (1u64 << offset_in_word) != 0;
+                let bit = bit_base + offset_in_word;
+                match (set, run_start) {
+                    (true, None) => run_start = Some(bit),
+                    (false, Some(start)) => {
+                        intervals.push((start as u32, (bit - start) as u32));
+                        run_start = None;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if let Some(start) = run_start {
+            intervals.push((start as u32, (WINDOW_SIZE - start) as u32));
+        }
+        intervals
+    }
+
+    /// Builds the usage map of a two-stage chunk from its marker symbols.
+    pub fn from_symbols(symbols: &[u16]) -> Self {
+        let mut usage = Self::new();
+        for &symbol in symbols {
+            if symbol >= MARKER_BASE {
+                usage.mark((symbol - MARKER_BASE) as usize, 1);
+            }
+        }
+        usage
+    }
+}
+
 /// Replaces marker symbols with bytes from `window` and returns the resolved
 /// bytes.
 ///
@@ -159,6 +276,41 @@ mod tests {
             &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]
         );
         assert_eq!(&next_window[..WINDOW_SIZE - 10], &window[10..]);
+    }
+
+    #[test]
+    fn window_usage_tracks_intervals_and_min_offset() {
+        let mut usage = WindowUsage::new();
+        assert!(usage.is_empty());
+        assert_eq!(usage.min_offset(), None);
+        assert!(usage.intervals().is_empty());
+
+        usage.mark(100, 4);
+        usage.mark(102, 6); // overlaps the first run
+        usage.mark(WINDOW_SIZE - 2, 10); // clamped at the window end
+        assert!(!usage.is_empty());
+        assert_eq!(usage.min_offset(), Some(100));
+        assert_eq!(usage.used_bytes(), 8 + 2);
+        assert_eq!(
+            usage.intervals(),
+            vec![(100, 8), ((WINDOW_SIZE - 2) as u32, 2)]
+        );
+    }
+
+    #[test]
+    fn window_usage_from_symbols_collects_marker_offsets() {
+        let symbols = vec![
+            b'a' as u16,
+            MARKER_BASE + 7,
+            MARKER_BASE + 8,
+            b'b' as u16,
+            MARKER_BASE + 7, // duplicate marker counts once
+            MARKER_BASE + 4000,
+        ];
+        let usage = WindowUsage::from_symbols(&symbols);
+        assert_eq!(usage.used_bytes(), 3);
+        assert_eq!(usage.intervals(), vec![(7, 2), (4000, 1)]);
+        assert!(WindowUsage::from_symbols(&[1, 2, 255]).is_empty());
     }
 
     proptest! {

@@ -9,14 +9,53 @@
 //! Three pieces mirror the paper's class diagram: [`BlockMap`] (offset
 //! translation), [`WindowMap`] (windows keyed by compressed offset) and
 //! [`GzipIndex`] which bundles them and supports export/import.
+//!
+//! Windows are no longer held as raw 32 KiB buffers: [`WindowMap`] is backed
+//! by an [`rgz_window::WindowStore`] that deflate-compresses every window
+//! (optionally on a shared thread pool), sparsifies windows whose chunk is
+//! known to reference only part of them, and lazily re-inflates hot windows
+//! through a bounded cache.
+//!
+//! # Serialized formats
+//!
+//! Both formats share the same header and trailing whole-file CRC-32:
+//!
+//! ```text
+//! magic              8 bytes  "RGZIDX01"
+//! version            u32      1 or 2
+//! compressed_size    u64
+//! uncompressed_size  u64
+//! point_count        u64
+//! ...point records...
+//! crc32              u32      over every preceding byte
+//! ```
+//!
+//! A **v1** point record stores the raw window:
+//!
+//! ```text
+//! compressed_bit_offset u64, uncompressed_offset u64, uncompressed_size u64,
+//! window_length u32 (<= 32768), window bytes
+//! ```
+//!
+//! A **v2** point record stores a compressed-window record
+//! ([`rgz_window::CompressedWindow`]):
+//!
+//! ```text
+//! compressed_bit_offset u64, uncompressed_offset u64, uncompressed_size u64,
+//! flags u8 (bit 0 = deflate-compressed payload, bit 1 = sparse),
+//! original_length u32, window_length u32, payload_length u32,
+//! window_crc32 u32 (CRC-32 of the decompressed window), payload bytes
+//! ```
 
-use std::collections::HashMap;
+use std::str::FromStr;
 use std::sync::Arc;
 
 use rgz_checksum::crc32;
+use rgz_fetcher::ThreadPool;
+use rgz_window::{flags, CompressedWindow, WindowError, WindowStore, WindowStoreStatistics};
 
 /// Maximum window size stored per seek point.
-pub const WINDOW_SIZE: usize = 32 * 1024;
+pub const WINDOW_SIZE: usize = rgz_window::WINDOW_SIZE;
 
 /// One entry of the index.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -104,11 +143,14 @@ impl BlockMap {
 
 /// Windows keyed by compressed bit offset (the paper's `WindowMap`).
 ///
-/// Windows are shared via `Arc` because the chunk fetcher, the index and
-/// in-flight decompression tasks all hold references concurrently.
+/// Backed by a shared [`WindowStore`]: windows are deflate-compressed (and
+/// sparsified when usage information is available) on insertion and lazily
+/// re-inflated on access through a bounded hot cache.  Clones share the same
+/// store, so the chunk fetcher, the index and in-flight decompression tasks
+/// can all hold references concurrently.
 #[derive(Debug, Default, Clone)]
 pub struct WindowMap {
-    windows: HashMap<u64, Arc<Vec<u8>>>,
+    store: Arc<WindowStore>,
 }
 
 impl WindowMap {
@@ -117,40 +159,66 @@ impl WindowMap {
         Self::default()
     }
 
+    /// Attaches a thread pool; subsequent insertions compress asynchronously.
+    pub fn set_pool(&self, pool: Arc<ThreadPool>) {
+        self.store.set_pool(pool);
+    }
+
     /// Number of stored windows.
     pub fn len(&self) -> usize {
-        self.windows.len()
+        self.store.len()
     }
 
     /// Whether the map is empty.
     pub fn is_empty(&self) -> bool {
-        self.windows.is_empty()
+        self.store.is_empty()
     }
 
     /// Stores the window preceding the block at `compressed_bit_offset`,
     /// keeping only the last 32 KiB.
-    pub fn insert(&mut self, compressed_bit_offset: u64, window: &[u8]) {
-        let tail_start = window.len().saturating_sub(WINDOW_SIZE);
-        self.windows.insert(
-            compressed_bit_offset,
-            Arc::new(window[tail_start..].to_vec()),
-        );
+    pub fn insert(&self, compressed_bit_offset: u64, window: &[u8]) {
+        self.store.insert(compressed_bit_offset, window.to_vec());
     }
 
-    /// Stores an already shared window.
-    pub fn insert_shared(&mut self, compressed_bit_offset: u64, window: Arc<Vec<u8>>) {
-        debug_assert!(window.len() <= WINDOW_SIZE);
-        self.windows.insert(compressed_bit_offset, window);
+    /// Stores the window keeping only the bytes in `usage` — marker-space
+    /// `(offset, length)` runs as produced by `rgz_deflate::WindowUsage` —
+    /// dropping leading unreferenced bytes and zeroing the rest.
+    pub fn insert_sparse(&self, compressed_bit_offset: u64, window: &[u8], usage: &[(u32, u32)]) {
+        self.store
+            .insert_sparse(compressed_bit_offset, window.to_vec(), usage.to_vec());
     }
 
-    /// Looks up the window for a compressed bit offset.
+    /// Stores an already compressed record (the import path).
+    pub fn insert_compressed(&self, compressed_bit_offset: u64, record: CompressedWindow) {
+        self.store.insert_compressed(compressed_bit_offset, record);
+    }
+
+    /// Looks up (and lazily decompresses) the window for a compressed bit
+    /// offset.  Corrupt windows yield `None`; use [`WindowMap::try_get`] to
+    /// distinguish corruption from absence.
     pub fn get(&self, compressed_bit_offset: u64) -> Option<Arc<Vec<u8>>> {
-        self.windows.get(&compressed_bit_offset).cloned()
+        self.store.get(compressed_bit_offset).ok().flatten()
+    }
+
+    /// Looks up the window, surfacing checksum/validation failures.
+    pub fn try_get(&self, compressed_bit_offset: u64) -> Result<Option<Arc<Vec<u8>>>, WindowError> {
+        self.store.get(compressed_bit_offset)
+    }
+
+    /// The compressed record for a seek point, if any (waits for an
+    /// in-flight compression to finish).
+    pub fn get_compressed(&self, compressed_bit_offset: u64) -> Option<Arc<CompressedWindow>> {
+        self.store.get_compressed(compressed_bit_offset)
     }
 
     /// Whether a window exists for the given offset.
     pub fn contains(&self, compressed_bit_offset: u64) -> bool {
-        self.windows.contains_key(&compressed_bit_offset)
+        self.store.contains(compressed_bit_offset)
+    }
+
+    /// Memory and cache counters of the backing store.
+    pub fn statistics(&self) -> WindowStoreStatistics {
+        self.store.statistics()
     }
 }
 
@@ -178,6 +246,16 @@ pub enum IndexError {
     Truncated,
     /// The trailing checksum does not match.
     ChecksumMismatch,
+    /// A per-window length field exceeds the 32 KiB window bound — the file
+    /// is corrupt or hostile, and honouring the length would mean a huge
+    /// allocation.
+    WindowTooLarge {
+        /// The declared length.
+        length: u64,
+    },
+    /// A v2 window record is structurally invalid (unknown flags,
+    /// inconsistent lengths).
+    InvalidWindow,
 }
 
 impl std::fmt::Display for IndexError {
@@ -187,14 +265,53 @@ impl std::fmt::Display for IndexError {
             IndexError::UnsupportedVersion(v) => write!(f, "unsupported index version {v}"),
             IndexError::Truncated => write!(f, "truncated index data"),
             IndexError::ChecksumMismatch => write!(f, "index checksum mismatch"),
+            IndexError::WindowTooLarge { length } => write!(
+                f,
+                "window length {length} exceeds the {WINDOW_SIZE} byte bound"
+            ),
+            IndexError::InvalidWindow => write!(f, "structurally invalid window record"),
         }
     }
 }
 
 impl std::error::Error for IndexError {}
 
+/// Serialized index format version.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub enum IndexFormat {
+    /// Version 1: raw windows, one length-prefixed buffer per seek point.
+    V1,
+    /// Version 2: compressed-window records (flags byte, per-window CRC-32,
+    /// deflate payload) — typically several times smaller than v1.
+    #[default]
+    V2,
+}
+
+impl IndexFormat {
+    /// The version number written into the file header.
+    pub fn version(self) -> u32 {
+        match self {
+            IndexFormat::V1 => 1,
+            IndexFormat::V2 => 2,
+        }
+    }
+}
+
+impl FromStr for IndexFormat {
+    type Err = String;
+
+    fn from_str(value: &str) -> Result<Self, Self::Err> {
+        match value {
+            "v1" | "V1" | "1" => Ok(IndexFormat::V1),
+            "v2" | "V2" | "2" => Ok(IndexFormat::V2),
+            other => Err(format!(
+                "unknown index format '{other}' (expected v1 or v2)"
+            )),
+        }
+    }
+}
+
 const MAGIC: &[u8; 8] = b"RGZIDX01";
-const VERSION: u32 = 1;
 
 impl GzipIndex {
     /// Creates an empty index.
@@ -202,21 +319,36 @@ impl GzipIndex {
         Self::default()
     }
 
-    /// Adds a seek point together with its window.
+    /// Adds a seek point together with its full window.
     pub fn add_seek_point(&mut self, point: SeekPoint, window: &[u8]) {
         self.window_map.insert(point.compressed_bit_offset, window);
         self.block_map.push(point);
     }
 
-    /// Serialises the index to a standalone byte buffer.
-    ///
-    /// Layout: magic, version, counts and totals, the seek points, then each
-    /// window prefixed by its length, and finally a CRC-32 over everything
-    /// before it.
+    /// Adds a seek point whose chunk is known to reference only the window
+    /// bytes named by `usage`; the stored window is sparsified accordingly.
+    pub fn add_seek_point_sparse(&mut self, point: SeekPoint, window: &[u8], usage: &[(u32, u32)]) {
+        self.window_map
+            .insert_sparse(point.compressed_bit_offset, window, usage);
+        self.block_map.push(point);
+    }
+
+    /// Serialises the index in the default (v2, compressed-window) format.
     pub fn export(&self) -> Vec<u8> {
+        self.export_as(IndexFormat::default())
+    }
+
+    /// Serialises the index in an explicit format.
+    ///
+    /// v1 reconstructs each raw window (zero-padding sparsified ones back to
+    /// their original length, which decodes identically); v2 writes the
+    /// compressed records as-is.  A window that fails its checksum on v1
+    /// reconstruction is exported as empty — this can only happen to records
+    /// that were already corrupt when imported.
+    pub fn export_as(&self, format: IndexFormat) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(MAGIC);
-        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&format.version().to_le_bytes());
         out.extend_from_slice(&self.compressed_size.to_le_bytes());
         out.extend_from_slice(&self.uncompressed_size.to_le_bytes());
         out.extend_from_slice(&(self.block_map.len() as u64).to_le_bytes());
@@ -224,13 +356,40 @@ impl GzipIndex {
             out.extend_from_slice(&point.compressed_bit_offset.to_le_bytes());
             out.extend_from_slice(&point.uncompressed_offset.to_le_bytes());
             out.extend_from_slice(&point.uncompressed_size.to_le_bytes());
-            let window = self.window_map.get(point.compressed_bit_offset);
-            match window {
-                Some(window) => {
+            let record = self.window_map.get_compressed(point.compressed_bit_offset);
+            match format {
+                IndexFormat::V1 => {
+                    let window = record
+                        .and_then(|r| r.decompress_padded().ok())
+                        .unwrap_or_default();
                     out.extend_from_slice(&(window.len() as u32).to_le_bytes());
                     out.extend_from_slice(&window);
                 }
-                None => out.extend_from_slice(&0u32.to_le_bytes()),
+                IndexFormat::V2 => match record {
+                    Some(record) => {
+                        // v1-imported windows sit in the store verbatim (the
+                        // import path skips compression to stay cheap);
+                        // compress them here so a v1 -> v2 conversion still
+                        // shrinks the file.
+                        let record = match record.recompressed() {
+                            Some(compressed) => Arc::new(compressed),
+                            None => record,
+                        };
+                        out.push(record.flags);
+                        out.extend_from_slice(&record.original_length.to_le_bytes());
+                        out.extend_from_slice(&record.window_length.to_le_bytes());
+                        out.extend_from_slice(&(record.payload.len() as u32).to_le_bytes());
+                        out.extend_from_slice(&record.checksum.to_le_bytes());
+                        out.extend_from_slice(&record.payload);
+                    }
+                    None => {
+                        out.push(0u8);
+                        out.extend_from_slice(&0u32.to_le_bytes()); // original_length
+                        out.extend_from_slice(&0u32.to_le_bytes()); // window_length
+                        out.extend_from_slice(&0u32.to_le_bytes()); // payload_length
+                        out.extend_from_slice(&0u32.to_le_bytes()); // checksum
+                    }
+                },
             }
         }
         let checksum = crc32(&out);
@@ -238,7 +397,9 @@ impl GzipIndex {
         out
     }
 
-    /// Reconstructs an index previously produced by [`GzipIndex::export`].
+    /// Reconstructs an index previously produced by [`GzipIndex::export`] or
+    /// [`GzipIndex::export_as`] — both v1 (raw windows) and v2
+    /// (compressed-window records) files are accepted.
     pub fn import(data: &[u8]) -> Result<Self, IndexError> {
         if data.len() < MAGIC.len() + 4 + 8 + 8 + 8 + 4 {
             return Err(IndexError::Truncated);
@@ -252,6 +413,11 @@ impl GzipIndex {
             return Err(IndexError::ChecksumMismatch);
         }
         let mut cursor = 8usize;
+        let read_u8 = |cursor: &mut usize| -> Result<u8, IndexError> {
+            let byte = *data.get(*cursor).ok_or(IndexError::Truncated)?;
+            *cursor += 1;
+            Ok(byte)
+        };
         let read_u32 = |cursor: &mut usize| -> Result<u32, IndexError> {
             let bytes = data
                 .get(*cursor..*cursor + 4)
@@ -268,7 +434,7 @@ impl GzipIndex {
         };
 
         let version = read_u32(&mut cursor)?;
-        if version != VERSION {
+        if version != 1 && version != 2 {
             return Err(IndexError::UnsupportedVersion(version));
         }
         let compressed_size = read_u64(&mut cursor)?;
@@ -281,22 +447,75 @@ impl GzipIndex {
             ..Default::default()
         };
         for _ in 0..point_count {
-            let compressed_bit_offset = read_u64(&mut cursor)?;
-            let uncompressed_offset = read_u64(&mut cursor)?;
-            let chunk_size = read_u64(&mut cursor)?;
-            let window_length = read_u32(&mut cursor)? as usize;
-            let window = data
-                .get(cursor..cursor + window_length)
-                .ok_or(IndexError::Truncated)?;
-            cursor += window_length;
-            index.add_seek_point(
-                SeekPoint {
-                    compressed_bit_offset,
-                    uncompressed_offset,
-                    uncompressed_size: chunk_size,
-                },
-                window,
-            );
+            let point = SeekPoint {
+                compressed_bit_offset: read_u64(&mut cursor)?,
+                uncompressed_offset: read_u64(&mut cursor)?,
+                uncompressed_size: read_u64(&mut cursor)?,
+            };
+            if version == 1 {
+                let window_length = read_u32(&mut cursor)? as usize;
+                // Validate the untrusted length *before* using it: a corrupt
+                // or hostile file must not trigger a 4 GiB window allocation.
+                if window_length > WINDOW_SIZE {
+                    return Err(IndexError::WindowTooLarge {
+                        length: window_length as u64,
+                    });
+                }
+                let window = data
+                    .get(cursor..cursor + window_length)
+                    .ok_or(IndexError::Truncated)?;
+                cursor += window_length;
+                // Store verbatim: compressing tens of thousands of windows
+                // inline (and single-threaded — no pool is attached yet)
+                // would turn import into a multi-second stall.  The v2
+                // exporter recompresses verbatim records on the way out.
+                index.window_map.insert_compressed(
+                    point.compressed_bit_offset,
+                    CompressedWindow::from_window_verbatim(window),
+                );
+                index.block_map.push(point);
+            } else {
+                let record_flags = read_u8(&mut cursor)?;
+                let original_length = read_u32(&mut cursor)?;
+                let window_length = read_u32(&mut cursor)?;
+                let payload_length = read_u32(&mut cursor)? as usize;
+                let checksum = read_u32(&mut cursor)?;
+                if window_length as usize > WINDOW_SIZE
+                    || original_length as usize > WINDOW_SIZE
+                    || payload_length > rgz_window::MAX_WINDOW_PAYLOAD
+                {
+                    return Err(IndexError::WindowTooLarge {
+                        length: (window_length as u64)
+                            .max(original_length as u64)
+                            .max(payload_length as u64),
+                    });
+                }
+                if record_flags & !flags::KNOWN != 0 {
+                    return Err(IndexError::InvalidWindow);
+                }
+                let payload = data
+                    .get(cursor..cursor + payload_length)
+                    .ok_or(IndexError::Truncated)?
+                    .to_vec();
+                cursor += payload_length;
+                let record = CompressedWindow {
+                    flags: record_flags,
+                    original_length,
+                    window_length,
+                    checksum,
+                    payload,
+                };
+                record.validate().map_err(|error| match error {
+                    WindowError::TooLarge { length } => IndexError::WindowTooLarge {
+                        length: length as u64,
+                    },
+                    _ => IndexError::InvalidWindow,
+                })?;
+                index
+                    .window_map
+                    .insert_compressed(point.compressed_bit_offset, record);
+                index.block_map.push(point);
+            }
         }
         Ok(index)
     }
@@ -374,7 +593,7 @@ mod tests {
 
     #[test]
     fn window_map_keeps_only_the_last_32_kib() {
-        let mut map = WindowMap::new();
+        let map = WindowMap::new();
         let big: Vec<u8> = (0..100_000).map(|i| (i % 256) as u8).collect();
         map.insert(42, &big);
         let stored = map.get(42).unwrap();
@@ -385,16 +604,72 @@ mod tests {
     }
 
     #[test]
-    fn export_import_round_trips() {
+    fn window_map_stores_windows_compressed() {
+        let map = WindowMap::new();
+        let window: Vec<u8> = (0..WINDOW_SIZE).map(|i| (i % 16) as u8).collect();
+        map.insert(7, &window);
+        let statistics = map.statistics();
+        assert_eq!(statistics.windows, 1);
+        assert_eq!(statistics.original_bytes, WINDOW_SIZE);
+        assert!(
+            statistics.stored_bytes < WINDOW_SIZE / 4,
+            "window not compressed: {statistics:?}"
+        );
+        assert_eq!(map.get(7).unwrap().as_slice(), &window[..]);
+    }
+
+    #[test]
+    fn export_import_round_trips_in_both_formats() {
         let index = sample_index();
-        let serialized = index.export();
-        let restored = GzipIndex::import(&serialized).unwrap();
-        assert_eq!(restored.compressed_size, index.compressed_size);
-        assert_eq!(restored.uncompressed_size, index.uncompressed_size);
-        assert_eq!(restored.block_map.points(), index.block_map.points());
+        for format in [IndexFormat::V1, IndexFormat::V2] {
+            let serialized = index.export_as(format);
+            let restored = GzipIndex::import(&serialized).unwrap();
+            assert_eq!(restored.compressed_size, index.compressed_size);
+            assert_eq!(restored.uncompressed_size, index.uncompressed_size);
+            assert_eq!(restored.block_map.points(), index.block_map.points());
+            for point in index.block_map.points() {
+                assert_eq!(
+                    restored
+                        .window_map
+                        .get(point.compressed_bit_offset)
+                        .as_deref(),
+                    index.window_map.get(point.compressed_bit_offset).as_deref(),
+                    "window mismatch in {format:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn v2_export_is_much_smaller_than_v1_for_repetitive_windows() {
+        let index = sample_index();
+        let v1 = index.export_as(IndexFormat::V1);
+        let v2 = index.export_as(IndexFormat::V2);
+        assert!(
+            v2.len() * 4 <= v1.len(),
+            "v2 ({}) should be at least 4x smaller than v1 ({})",
+            v2.len(),
+            v1.len()
+        );
+    }
+
+    #[test]
+    fn v1_import_is_verbatim_and_v2_reexport_still_compresses() {
+        let index = sample_index();
+        let from_v1 = GzipIndex::import(&index.export_as(IndexFormat::V1)).unwrap();
+        // Import stores windows verbatim (no per-window compression stall).
+        let statistics = from_v1.window_map.statistics();
+        assert_eq!(statistics.stored_bytes, statistics.original_bytes);
+        // ...but converting to v2 compresses on the way out.
+        let v2 = from_v1.export_as(IndexFormat::V2);
+        assert!(
+            v2.len() * 4 <= index.export_as(IndexFormat::V1).len(),
+            "v1 -> v2 conversion did not shrink the index"
+        );
+        let from_v2 = GzipIndex::import(&v2).unwrap();
         for point in index.block_map.points() {
             assert_eq!(
-                restored
+                from_v2
                     .window_map
                     .get(point.compressed_bit_offset)
                     .as_deref(),
@@ -406,7 +681,7 @@ mod tests {
     #[test]
     fn import_rejects_corruption() {
         let index = sample_index();
-        let serialized = index.export();
+        let serialized = index.export_as(IndexFormat::V1);
         assert_eq!(GzipIndex::import(&[]).unwrap_err(), IndexError::Truncated);
         assert_eq!(
             GzipIndex::import(&serialized[..20]).unwrap_err(),
@@ -437,7 +712,141 @@ mod tests {
         );
     }
 
+    /// Patches the byte at `position`, fixes the trailing CRC, and returns
+    /// the import result — for crafting hostile-but-checksummed files.
+    fn import_with_patch(
+        mut serialized: Vec<u8>,
+        position: usize,
+        patch: &[u8],
+    ) -> Result<GzipIndex, IndexError> {
+        serialized[position..position + patch.len()].copy_from_slice(patch);
+        let body_length = serialized.len() - 4;
+        let checksum = rgz_checksum::crc32(&serialized[..body_length]);
+        serialized[body_length..].copy_from_slice(&checksum.to_le_bytes());
+        GzipIndex::import(&serialized)
+    }
+
+    #[test]
+    fn v1_import_rejects_oversized_window_length_before_allocating() {
+        let mut index = GzipIndex::new();
+        index.add_seek_point(
+            SeekPoint {
+                compressed_bit_offset: 8,
+                uncompressed_offset: 0,
+                uncompressed_size: 100,
+            },
+            &[1, 2, 3, 4],
+        );
+        let serialized = index.export_as(IndexFormat::V1);
+        // The window length field of the single point lives right after the
+        // header (36 bytes) and the three u64 offsets (24 bytes).
+        let length_position = 36 + 24;
+        assert_eq!(
+            u32::from_le_bytes(
+                serialized[length_position..length_position + 4]
+                    .try_into()
+                    .unwrap()
+            ),
+            4
+        );
+        let result = import_with_patch(serialized, length_position, &u32::MAX.to_le_bytes());
+        assert_eq!(
+            result.unwrap_err(),
+            IndexError::WindowTooLarge {
+                length: u32::MAX as u64
+            }
+        );
+    }
+
+    #[test]
+    fn v2_import_rejects_hostile_lengths_and_unknown_flags() {
+        let mut index = GzipIndex::new();
+        index.add_seek_point(
+            SeekPoint {
+                compressed_bit_offset: 8,
+                uncompressed_offset: 0,
+                uncompressed_size: 100,
+            },
+            &[1, 2, 3, 4],
+        );
+        let serialized = index.export_as(IndexFormat::V2);
+        let record_position = 36 + 24; // flags byte of the first record
+
+        // Unknown flag bits are rejected.
+        assert_eq!(
+            import_with_patch(serialized.clone(), record_position, &[0x80]).unwrap_err(),
+            IndexError::InvalidWindow
+        );
+        // Oversized window_length is rejected before any allocation.
+        assert!(matches!(
+            import_with_patch(
+                serialized.clone(),
+                record_position + 1 + 4,
+                &u32::MAX.to_le_bytes()
+            )
+            .unwrap_err(),
+            IndexError::WindowTooLarge { .. }
+        ));
+        // Oversized payload_length likewise.
+        assert!(matches!(
+            import_with_patch(
+                serialized,
+                record_position + 1 + 4 + 4,
+                &u32::MAX.to_le_bytes()
+            )
+            .unwrap_err(),
+            IndexError::WindowTooLarge { .. }
+        ));
+    }
+
+    #[test]
+    fn sparse_seek_points_survive_both_formats() {
+        let mut index = GzipIndex::new();
+        let window: Vec<u8> = (0..WINDOW_SIZE).map(|i| (i % 255) as u8).collect();
+        // The chunk references two scattered runs of its window.
+        let usage = vec![(1000u32, 10u32), ((WINDOW_SIZE - 20) as u32, 20u32)];
+        index.add_seek_point_sparse(
+            SeekPoint {
+                compressed_bit_offset: 64,
+                uncompressed_offset: 0,
+                uncompressed_size: 5000,
+            },
+            &window,
+            &usage,
+        );
+        let stored = index.window_map.get(64).unwrap();
+        assert_eq!(stored.len(), WINDOW_SIZE - 1000);
+        assert_eq!(&stored[..10], &window[1000..1010]);
+        assert_eq!(&stored[stored.len() - 20..], &window[WINDOW_SIZE - 20..]);
+
+        for format in [IndexFormat::V1, IndexFormat::V2] {
+            let restored = GzipIndex::import(&index.export_as(format)).unwrap();
+            let restored_window = restored.window_map.get(64).unwrap();
+            // v1 pads back to the original length; v2 keeps the masked shape.
+            let expected_len = match format {
+                IndexFormat::V1 => WINDOW_SIZE,
+                IndexFormat::V2 => WINDOW_SIZE - 1000,
+            };
+            assert_eq!(restored_window.len(), expected_len);
+            let tail = &restored_window[restored_window.len() - 20..];
+            assert_eq!(tail, &window[WINDOW_SIZE - 20..]);
+        }
+    }
+
+    #[test]
+    fn index_format_parses_from_cli_strings() {
+        assert_eq!("v1".parse::<IndexFormat>().unwrap(), IndexFormat::V1);
+        assert_eq!("v2".parse::<IndexFormat>().unwrap(), IndexFormat::V2);
+        assert_eq!("2".parse::<IndexFormat>().unwrap(), IndexFormat::V2);
+        assert!("v3".parse::<IndexFormat>().is_err());
+        assert_eq!(IndexFormat::default(), IndexFormat::V2);
+    }
+
     proptest! {
+        // Every generated window is compressed on insertion, so keep the
+        // case count moderate to stay fast in debug builds.
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
         #[test]
         fn export_import_preserves_arbitrary_indexes(
             points in proptest::collection::vec((0u64..1 << 40, 1u64..1 << 20), 0..40),
@@ -463,6 +872,55 @@ mod tests {
             let restored = GzipIndex::import(&index.export()).unwrap();
             prop_assert_eq!(restored.block_map.points(), index.block_map.points());
             prop_assert_eq!(restored.uncompressed_size, index.uncompressed_size);
+        }
+
+        /// The satellite round-trip: random seek points with random window
+        /// contents and lengths (including empty windows), exported as v1,
+        /// imported, re-exported as v2, imported again — windows must be
+        /// byte-identical at every hop, and truncating the v2 file anywhere
+        /// must error rather than panic.
+        #[test]
+        fn v1_to_v2_round_trip_preserves_windows(
+            windows in proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 0..2000),
+                1..12,
+            ),
+            truncate_seed in 0usize..1_000_000,
+        ) {
+            let mut index = GzipIndex::new();
+            let mut compressed = 8u64;
+            let mut uncompressed = 0u64;
+            for window in &windows {
+                index.add_seek_point(
+                    SeekPoint {
+                        compressed_bit_offset: compressed,
+                        uncompressed_offset: uncompressed,
+                        uncompressed_size: 4096,
+                    },
+                    window,
+                );
+                compressed += 50_000;
+                uncompressed += 4096;
+            }
+            index.uncompressed_size = uncompressed;
+
+            let v1 = index.export_as(IndexFormat::V1);
+            let from_v1 = GzipIndex::import(&v1).unwrap();
+            let v2 = from_v1.export_as(IndexFormat::V2);
+            let from_v2 = GzipIndex::import(&v2).unwrap();
+
+            prop_assert_eq!(from_v2.block_map.points(), index.block_map.points());
+            for (point, window) in index.block_map.points().iter().zip(&windows) {
+                let restored = from_v2
+                    .window_map
+                    .get(point.compressed_bit_offset)
+                    .expect("window lost in translation");
+                prop_assert_eq!(&restored[..], &window[..]);
+            }
+
+            // A truncated v2 file must fail cleanly (checksum or length).
+            let cut = 1 + truncate_seed % (v2.len() - 1);
+            prop_assert!(GzipIndex::import(&v2[..cut]).is_err());
         }
     }
 }

@@ -12,3 +12,4 @@ pub use rgz_gzip as gzip;
 pub use rgz_huffman as huffman;
 pub use rgz_index as index;
 pub use rgz_io as io;
+pub use rgz_window as window;

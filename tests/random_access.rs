@@ -6,7 +6,7 @@ use std::io::{Read, Seek, SeekFrom};
 use rapidgzip_suite::core::{ParallelGzipReader, ParallelGzipReaderOptions};
 use rapidgzip_suite::datagen;
 use rapidgzip_suite::gzip::GzipWriter;
-use rapidgzip_suite::index::GzipIndex;
+use rapidgzip_suite::index::{GzipIndex, IndexFormat};
 use rapidgzip_suite::io::SharedFileReader;
 
 fn options() -> ParallelGzipReaderOptions {
@@ -66,6 +66,66 @@ fn exported_index_survives_a_round_trip_to_disk() {
     reader.seek(SeekFrom::Start(500_000)).unwrap();
     reader.read_exact(&mut buffer).unwrap();
     assert_eq!(&buffer[..], &data[500_000..504_096]);
+    assert_eq!(reader.decompress_all().unwrap(), data);
+}
+
+#[test]
+fn v2_index_round_trips_through_disk_with_byte_identical_output() {
+    // Export in both formats, re-import each, and byte-compare full
+    // decompression and random access against the serial decoder's output.
+    let data = datagen::silesia_like(1_200_000, 25);
+    let compressed = GzipWriter::default().compress(&data);
+    let expected = rapidgzip_suite::gzip::decompress(&compressed).unwrap();
+    assert_eq!(expected, data);
+    let shared = SharedFileReader::from_bytes(compressed);
+
+    let mut builder = ParallelGzipReader::new(shared.clone(), options()).unwrap();
+    let index = builder.build_full_index().unwrap();
+
+    for format in [IndexFormat::V1, IndexFormat::V2] {
+        let path = std::env::temp_dir().join(format!(
+            "rgz_index_{:?}_{}.rgzidx",
+            format,
+            std::process::id()
+        ));
+        std::fs::write(&path, index.export_as(format)).unwrap();
+        let imported = GzipIndex::import(&std::fs::read(&path).unwrap()).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        let mut reader =
+            ParallelGzipReader::with_index(shared.clone(), options(), imported).unwrap();
+        let mut buffer = vec![0u8; 4096];
+        reader.seek(SeekFrom::Start(900_000)).unwrap();
+        reader.read_exact(&mut buffer).unwrap();
+        assert_eq!(&buffer[..], &expected[900_000..904_096]);
+        assert_eq!(reader.decompress_all().unwrap(), expected, "{format:?}");
+    }
+}
+
+#[test]
+fn v2_index_is_at_least_4x_smaller_than_v1_on_the_base64_corpus() {
+    // The acceptance criterion of the compressed/sparse window store: on the
+    // datagen base64 corpus the v2 export must be >= 4x smaller than the v1
+    // raw-window export, with decompression staying byte-identical.
+    let data = datagen::base64_random(4 * 1024 * 1024, 26);
+    let compressed = GzipWriter::default().compress(&data);
+    let shared = SharedFileReader::from_bytes(compressed);
+
+    let mut builder = ParallelGzipReader::new(shared.clone(), options()).unwrap();
+    let index = builder.build_full_index().unwrap();
+    assert!(index.block_map.len() > 8, "need a multi-chunk index");
+
+    let v1 = index.export_as(IndexFormat::V1);
+    let v2 = index.export_as(IndexFormat::V2);
+    assert!(
+        v2.len() * 4 <= v1.len(),
+        "v2 export ({}) must be at least 4x smaller than v1 ({})",
+        v2.len(),
+        v1.len()
+    );
+
+    let imported = GzipIndex::import(&v2).unwrap();
+    let mut reader = ParallelGzipReader::with_index(shared, options(), imported).unwrap();
     assert_eq!(reader.decompress_all().unwrap(), data);
 }
 
