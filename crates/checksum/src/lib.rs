@@ -88,4 +88,55 @@ mod tests {
             crc32(a)
         );
     }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+            // The GF(2) construction behind `crc32_combine` makes the fold
+            // associative: for any 3-way split a|b|c of a buffer, combining
+            // left-to-right, right-to-left, or hashing the whole buffer in
+            // one pass must agree.  This is what lets the parallel reader
+            // fold per-chunk fragment CRCs in stream order regardless of
+            // where chunk boundaries fall.
+            #[test]
+            fn crc32_combine_is_associative_over_arbitrary_3way_splits(
+                data in proptest::collection::vec(any::<u8>(), 0..6000),
+                cut_one in 0usize..6001,
+                cut_two in 0usize..6001,
+            ) {
+                let first = cut_one % (data.len() + 1);
+                let second = cut_two % (data.len() + 1);
+                let (low, high) = (first.min(second), first.max(second));
+                let (a, b, c) = (&data[..low], &data[low..high], &data[high..]);
+
+                let ab = crc32_combine(crc32(a), crc32(b), b.len() as u64);
+                let left = crc32_combine(ab, crc32(c), c.len() as u64);
+
+                let bc = crc32_combine(crc32(b), crc32(c), c.len() as u64);
+                let right = crc32_combine(crc32(a), bc, (b.len() + c.len()) as u64);
+
+                let whole = crc32(&data);
+                prop_assert_eq!(left, whole);
+                prop_assert_eq!(right, whole);
+            }
+
+            // Splitting at every chunk boundary of a random partition and
+            // folding sequentially (the verifier's access pattern) matches
+            // the one-shot hash.
+            #[test]
+            fn sequential_fold_of_random_partitions_matches_one_shot(
+                data in proptest::collection::vec(any::<u8>(), 1..4000),
+                chunk in 1usize..512,
+            ) {
+                let mut folded = 0u32;
+                for piece in data.chunks(chunk) {
+                    folded = crc32_combine(folded, crc32(piece), piece.len() as u64);
+                }
+                prop_assert_eq!(folded, crc32(&data));
+            }
+        }
+    }
 }

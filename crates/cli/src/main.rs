@@ -11,6 +11,10 @@
 //!       --import-index <PATH> load a seek-point index from PATH
 //!       --index-format <FMT>  exported index format: v1 (raw windows) or
 //!                             v2 (compressed windows, default)
+//!       --verify              verify member CRC-32 and ISIZE trailers while
+//!                             decompressing (default)
+//!       --no-verify           skip checksum verification (faster, but silent
+//!                             corruption goes undetected)
 //!       --serial              use the single-threaded decoder (baseline)
 //!   -v, --verbose             print reader statistics and index/window
 //!                             memory usage to stderr after the run
@@ -21,7 +25,7 @@
 use std::io::Write;
 use std::process::ExitCode;
 
-use rgz_core::{ParallelGzipReader, ParallelGzipReaderOptions};
+use rgz_core::{ParallelGzipReader, ParallelGzipReaderOptions, VerificationMode};
 use rgz_index::{GzipIndex, IndexFormat};
 use rgz_io::SharedFileReader;
 
@@ -33,6 +37,7 @@ struct Options {
     export_index: Option<String>,
     import_index: Option<String>,
     index_format: IndexFormat,
+    verification: VerificationMode,
     serial: bool,
     verbose: bool,
     output: Option<String>,
@@ -41,7 +46,7 @@ struct Options {
 fn print_usage() {
     eprintln!("usage: rgzip [-d] [-P N] [--chunk-size KiB] [--count-lines]");
     eprintln!("             [--export-index PATH] [--import-index PATH]");
-    eprintln!("             [--index-format v1|v2] [--serial] [-v]");
+    eprintln!("             [--index-format v1|v2] [--verify|--no-verify] [--serial] [-v]");
     eprintln!("             [-o OUTPUT] FILE");
 }
 
@@ -57,6 +62,7 @@ fn parse_arguments() -> Result<Options, String> {
         export_index: None,
         import_index: None,
         index_format: IndexFormat::default(),
+        verification: VerificationMode::default(),
         serial: false,
         verbose: false,
         output: None,
@@ -73,6 +79,8 @@ fn parse_arguments() -> Result<Options, String> {
                 std::process::exit(0);
             }
             "-d" | "--decompress" => {}
+            "--verify" => options.verification = VerificationMode::Full,
+            "--no-verify" => options.verification = VerificationMode::Off,
             "--serial" => options.serial = true,
             "-v" | "--verbose" => options.verbose = true,
             "--count-lines" => options.count_lines = true,
@@ -126,7 +134,11 @@ fn run(options: &Options) -> Result<(), String> {
     if options.serial {
         let compressed = std::fs::read(&options.file)
             .map_err(|e| format!("cannot read {}: {e}", options.file))?;
-        let data = rgz_gzip::decompress(&compressed).map_err(|e| e.to_string())?;
+        let mut decoder = rgz_gzip::GzipDecoder::new();
+        if options.verification == VerificationMode::Off {
+            decoder = decoder.without_checksum_verification();
+        }
+        let data = decoder.decompress(&compressed).map_err(|e| e.to_string())?;
         if options.verbose {
             eprintln!("rgzip: serial decoder: no chunk or index statistics");
         }
@@ -140,6 +152,7 @@ fn run(options: &Options) -> Result<(), String> {
         let reader_options = ParallelGzipReaderOptions {
             parallelization: options.threads.max(1),
             chunk_size: options.chunk_size_kib.max(4) * 1024,
+            verification: options.verification,
             ..Default::default()
         };
         let shared = SharedFileReader::open(&options.file)
@@ -213,6 +226,16 @@ fn run(options: &Options) -> Result<(), String> {
                 windows.hot_cache.misses,
                 windows.hot_cache.evictions,
                 windows.corrupt_windows
+            );
+            let verification = reader.verification_statistics();
+            eprintln!(
+                "rgzip: verification ({:?}): {} members verified, {} bytes hashed, \
+                 {} fragments folded, stream CRC-32 {:#010x}",
+                verification.mode,
+                verification.members_verified,
+                verification.bytes_verified,
+                verification.fragments_folded,
+                verification.stream_crc32
             );
         }
     }

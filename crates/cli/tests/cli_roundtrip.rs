@@ -153,6 +153,106 @@ fn corrupt_index_files_are_rejected_cleanly() {
 }
 
 #[test]
+fn corrupted_trailer_fails_unless_verification_is_disabled() {
+    let dir = TempDir::new("verify");
+    let data = rgz_datagen::base64_random(400_000, 80);
+    let mut compressed = rgz_gzip::GzipWriter::default().compress(&data);
+    // Flip one bit of the member's trailer CRC: the stream still decodes,
+    // only checksum verification can catch it.
+    let length = compressed.len();
+    compressed[length - 6] ^= 0x04;
+    let gz = dir.file("corrupt.gz");
+    std::fs::write(&gz, &compressed).unwrap();
+
+    let verified = run_rgz(&[
+        "--chunk-size",
+        "64",
+        "-P",
+        "2",
+        "-o",
+        path_str(&dir.file("out")),
+        path_str(&gz),
+    ]);
+    assert!(
+        !verified.status.success(),
+        "verification on by default must reject a corrupt trailer"
+    );
+    let stderr = String::from_utf8_lossy(&verified.stderr);
+    assert!(
+        stderr.contains("CRC-32 mismatch") && stderr.contains("member 0"),
+        "expected a member-naming CRC error, got:\n{stderr}"
+    );
+
+    let unverified = run_rgz(&[
+        "--chunk-size",
+        "64",
+        "-P",
+        "2",
+        "--no-verify",
+        "--verbose",
+        "-o",
+        path_str(&dir.file("out2")),
+        path_str(&gz),
+    ]);
+    assert!(
+        unverified.status.success(),
+        "--no-verify run failed: {}",
+        String::from_utf8_lossy(&unverified.stderr)
+    );
+    assert_eq!(std::fs::read(dir.file("out2")).unwrap(), data);
+    let stderr = String::from_utf8_lossy(&unverified.stderr);
+    assert!(
+        stderr.contains("verification (Off)"),
+        "missing verification statistics in --verbose output:\n{stderr}"
+    );
+
+    // The serial baseline honours the same flags.
+    let serial = run_rgz(&["--serial", "-o", path_str(&dir.file("out3")), path_str(&gz)]);
+    assert!(!serial.status.success());
+    let serial_off = run_rgz(&[
+        "--serial",
+        "--no-verify",
+        "-o",
+        path_str(&dir.file("out4")),
+        path_str(&gz),
+    ]);
+    assert!(serial_off.status.success());
+    assert_eq!(std::fs::read(dir.file("out4")).unwrap(), data);
+}
+
+#[test]
+fn verified_decompression_reports_statistics() {
+    let dir = TempDir::new("verifystats");
+    let data = rgz_datagen::fastq_of_size(500_000, 81);
+    let compressed =
+        rgz_gzip::CompressorFrontend::new(rgz_gzip::FrontendKind::Bgzf, 6).compress(&data);
+    let gz = dir.file("corpus.gz");
+    std::fs::write(&gz, &compressed).unwrap();
+    let output = run_rgz(&[
+        "--chunk-size",
+        "64",
+        "-P",
+        "2",
+        "--verify",
+        "--verbose",
+        "-o",
+        path_str(&dir.file("out")),
+        path_str(&gz),
+    ]);
+    assert!(
+        output.status.success(),
+        "verified run failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert_eq!(std::fs::read(dir.file("out")).unwrap(), data);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("verification (Full)") && !stderr.contains(" 0 members verified"),
+        "expected non-zero verification statistics:\n{stderr}"
+    );
+}
+
+#[test]
 fn verbose_serial_mode_still_works() {
     let dir = TempDir::new("serial");
     let data = rgz_datagen::base64_random(100_000, 79);

@@ -19,10 +19,11 @@
 
 use rgz_bitio::BitReader;
 use rgz_blockfinder::{BlockFinder, CombinedBlockFinder};
-use rgz_deflate::{inflate, inflate_two_stage, DeflateError, StopReason};
-use rgz_gzip::{parse_footer, parse_header, GzipError};
+use rgz_deflate::{inflate, inflate_hashed, inflate_two_stage, DeflateError, StopReason};
+use rgz_gzip::{parse_footer, parse_header, GzipError, GzipFooter};
 use rgz_io::{FileReader, SharedFileReader};
 
+use crate::verify::ChunkFragment;
 use crate::CoreError;
 
 /// Result of a direct (window-known) chunk decode.
@@ -40,6 +41,11 @@ pub struct ChunkResult {
     /// marker-space `(offset, length)` runs — the index uses this to store a
     /// sparsified window for the chunk's seek point.
     pub window_usage: Vec<(u32, u32)>,
+    /// `data` split at gzip member boundaries, each fragment carrying the
+    /// CRC-32 of its bytes (when decoded with `verify`) and, for fragments
+    /// that end a member, the member's trailer.  The verification pipeline
+    /// folds these in stream order.
+    pub fragments: Vec<ChunkFragment>,
 }
 
 /// Result of a speculative (two-stage) chunk decode.
@@ -57,6 +63,11 @@ pub struct SpeculativeChunk {
     pub block_count: usize,
     /// Whether the end of the compressed file was reached.
     pub reached_end_of_file: bool,
+    /// Gzip member boundaries inside the chunk: `(end offset in symbol
+    /// space, trailer)` per member that *ends* within this chunk, in order.
+    /// Symbols map 1:1 to output bytes, so these offsets split the resolved
+    /// data into per-member CRC fragments after marker replacement.
+    pub member_ends: Vec<(u64, GzipFooter)>,
 }
 
 fn is_eof_like_deflate(error: &DeflateError) -> bool {
@@ -80,18 +91,19 @@ fn read_compressed_range(
     Ok(reader.read_range(start_byte, length as usize)?)
 }
 
-/// Skips the gzip footer at the current (possibly unaligned) position and, if
-/// another member follows, its header too.  Returns `true` if the end of the
-/// input was reached (only trailing zero padding or nothing remains).
-fn cross_member_boundary(reader: &mut BitReader<'_>) -> Result<bool, CoreError> {
-    parse_footer(reader).map_err(CoreError::Gzip)?;
+/// Parses the gzip footer at the current (possibly unaligned) position and,
+/// if another member follows, its header too.  Returns the parsed footer and
+/// `true` if the end of the input was reached (only trailing zero padding or
+/// nothing remains).
+fn cross_member_boundary(reader: &mut BitReader<'_>) -> Result<(GzipFooter, bool), CoreError> {
+    let footer = parse_footer(reader).map_err(CoreError::Gzip)?;
     // Trailing padding / end of file detection.
     loop {
         if reader.remaining_bits() < 8 * 18 {
             let position = (reader.position() / 8) as usize;
             let rest = &reader.data()[position..];
             if rest.iter().all(|&b| b == 0) {
-                return Ok(true);
+                return Ok((footer, true));
             }
             // Something follows but is too short to be a member: treat as
             // truncation so the caller can grow the range.
@@ -107,7 +119,7 @@ fn cross_member_boundary(reader: &mut BitReader<'_>) -> Result<bool, CoreError> 
             continue;
         }
         parse_header(reader).map_err(CoreError::Gzip)?;
-        return Ok(false);
+        return Ok((footer, false));
     }
 }
 
@@ -119,6 +131,8 @@ fn cross_member_boundary(reader: &mut BitReader<'_>) -> Result<bool, CoreError> 
 /// * `stop_bit_offset` — guessed boundary of the next chunk; decoding stops
 ///   at the first Dynamic or Non-Compressed block at or after it.
 /// * `window` — up to 32 KiB of decompressed data preceding the chunk.
+/// * `verify` — hash the decompressed bytes per member fragment (CRC-32 on
+///   this thread) so the caller can fold them against member trailers.
 pub fn decode_chunk_at(
     reader: &SharedFileReader,
     start_bit_offset: u64,
@@ -126,6 +140,7 @@ pub fn decode_chunk_at(
     window: &[u8],
     at_member_start: bool,
     chunk_size: usize,
+    verify: bool,
 ) -> Result<ChunkResult, CoreError> {
     let file_size = reader.size();
     let start_byte = start_bit_offset / 8;
@@ -144,6 +159,7 @@ pub fn decode_chunk_at(
             stop_bit_offset,
             window,
             at_member_start,
+            verify,
         );
         match attempt {
             Ok(result) => return Ok(result),
@@ -164,6 +180,7 @@ fn decode_direct_in_range(
     stop_bit_offset: u64,
     window: &[u8],
     at_member_start: bool,
+    verify: bool,
 ) -> Result<ChunkResult, CoreError> {
     let range_start_bits = range_start_byte * 8;
     let mut reader = BitReader::new(range);
@@ -180,23 +197,45 @@ fn decode_direct_in_range(
     let mut first_call = true;
     let mut reached_end_of_file = false;
     let mut window_usage = Vec::new();
+    // One inflate call never crosses a member boundary, so each iteration
+    // contributes exactly one CRC fragment.
+    let mut fragments = Vec::new();
+    let mut fragment_start = 0usize;
     loop {
         let call_window = if first_call { window } else { &[] };
         first_call = false;
-        let outcome = inflate(&mut reader, call_window, &mut data, relative_stop)
-            .map_err(CoreError::Deflate)?;
+        let outcome = if verify {
+            inflate_hashed(&mut reader, call_window, &mut data, relative_stop)
+        } else {
+            inflate(&mut reader, call_window, &mut data, relative_stop)
+        }
+        .map_err(CoreError::Deflate)?;
         if window_usage.is_empty() {
             // Only the first member of the chunk can reference the preceding
             // window; later inflate calls get an empty window.
             window_usage = outcome.window_usage.clone();
         }
+        let fragment = ChunkFragment {
+            crc32: outcome.crc32.unwrap_or(0),
+            length: (data.len() - fragment_start) as u64,
+            trailer: None,
+        };
+        fragment_start = data.len();
         match outcome.stop_reason {
-            StopReason::StopOffsetReached => break,
+            StopReason::StopOffsetReached => {
+                fragments.push(fragment);
+                break;
+            }
             StopReason::EndOfInput => {
                 return Err(CoreError::Deflate(DeflateError::UnexpectedEof));
             }
             StopReason::EndOfStream => {
-                if cross_member_boundary(&mut reader)? {
+                let (footer, at_end_of_file) = cross_member_boundary(&mut reader)?;
+                fragments.push(ChunkFragment {
+                    trailer: Some(footer),
+                    ..fragment
+                });
+                if at_end_of_file {
                     reached_end_of_file = true;
                     break;
                 }
@@ -210,6 +249,7 @@ fn decode_direct_in_range(
         data,
         reached_end_of_file,
         window_usage,
+        fragments,
     })
 }
 
@@ -275,7 +315,7 @@ fn decode_speculative_in_range(
         }
 
         match try_speculative_decode(range, candidate, relative_stop) {
-            Ok((symbols, end_position, block_count, reached_end_of_file)) => {
+            Ok((symbols, end_position, block_count, reached_end_of_file, member_ends)) => {
                 return SpeculativeOutcome::Found(SpeculativeChunk {
                     requested_bit_offset: guess_bit,
                     found_bit_offset: range_start_bits + candidate,
@@ -283,6 +323,7 @@ fn decode_speculative_in_range(
                     symbols,
                     block_count,
                     reached_end_of_file,
+                    member_ends,
                 });
             }
             Err(error) if is_eof_like(&error) => {
@@ -298,11 +339,13 @@ fn decode_speculative_in_range(
     }
 }
 
+type SpeculativeDecode = (Vec<u16>, u64, usize, bool, Vec<(u64, GzipFooter)>);
+
 fn try_speculative_decode(
     range: &[u8],
     start: u64,
     relative_stop: u64,
-) -> Result<(Vec<u16>, u64, usize, bool), CoreError> {
+) -> Result<SpeculativeDecode, CoreError> {
     let mut reader = BitReader::new(range);
     reader
         .seek_to_bit(start)
@@ -310,6 +353,7 @@ fn try_speculative_decode(
     let mut symbols = Vec::new();
     let mut block_count = 0usize;
     let mut reached_end_of_file = false;
+    let mut member_ends = Vec::new();
     loop {
         let outcome = inflate_two_stage(&mut reader, &mut symbols, relative_stop)
             .map_err(CoreError::Deflate)?;
@@ -320,14 +364,22 @@ fn try_speculative_decode(
                 return Err(CoreError::Deflate(DeflateError::UnexpectedEof));
             }
             StopReason::EndOfStream => {
-                if cross_member_boundary(&mut reader)? {
+                let (footer, at_end_of_file) = cross_member_boundary(&mut reader)?;
+                member_ends.push((symbols.len() as u64, footer));
+                if at_end_of_file {
                     reached_end_of_file = true;
                     break;
                 }
             }
         }
     }
-    Ok((symbols, reader.position(), block_count, reached_end_of_file))
+    Ok((
+        symbols,
+        reader.position(),
+        block_count,
+        reached_end_of_file,
+        member_ends,
+    ))
 }
 
 #[cfg(test)]
@@ -351,9 +403,30 @@ mod tests {
         let data = corpus(2_000);
         let compressed = GzipWriter::default().compress(&data);
         let reader = SharedFileReader::from_bytes(compressed);
-        let result = decode_chunk_at(&reader, 0, u64::MAX, &[], true, 128 * 1024).unwrap();
+        let result = decode_chunk_at(&reader, 0, u64::MAX, &[], true, 128 * 1024, true).unwrap();
         assert_eq!(result.data, data);
         assert!(result.reached_end_of_file);
+        // A single-member file yields one trailer fragment hashing the
+        // whole output.
+        assert_eq!(result.fragments.len(), 1);
+        let fragment = &result.fragments[0];
+        assert_eq!(fragment.length, data.len() as u64);
+        assert_eq!(fragment.crc32, rgz_checksum::crc32(&data));
+        let trailer = fragment.trailer.expect("member ends in this chunk");
+        assert_eq!(trailer.crc32, fragment.crc32);
+        assert_eq!(trailer.uncompressed_size, data.len() as u32);
+    }
+
+    #[test]
+    fn direct_decode_without_verification_skips_hashing() {
+        let data = corpus(1_000);
+        let compressed = GzipWriter::default().compress(&data);
+        let reader = SharedFileReader::from_bytes(compressed);
+        let result = decode_chunk_at(&reader, 0, u64::MAX, &[], true, 128 * 1024, false).unwrap();
+        assert_eq!(result.data, data);
+        assert_eq!(result.fragments.len(), 1);
+        assert_eq!(result.fragments[0].crc32, 0);
+        assert!(result.fragments[0].trailer.is_some());
     }
 
     #[test]
@@ -363,11 +436,24 @@ mod tests {
         let part_b = corpus(700);
         let compressed = writer.compress_members(&[&part_a, &part_b]);
         let reader = SharedFileReader::from_bytes(compressed);
-        let result = decode_chunk_at(&reader, 0, u64::MAX, &[], true, 128 * 1024).unwrap();
-        let mut expected = part_a;
+        let result = decode_chunk_at(&reader, 0, u64::MAX, &[], true, 128 * 1024, true).unwrap();
+        let mut expected = part_a.clone();
         expected.extend_from_slice(&part_b);
         assert_eq!(result.data, expected);
         assert!(result.reached_end_of_file);
+        // Two members, two fragments, split exactly at the member boundary.
+        assert_eq!(result.fragments.len(), 2);
+        assert_eq!(result.fragments[0].length, part_a.len() as u64);
+        assert_eq!(result.fragments[0].crc32, rgz_checksum::crc32(&part_a));
+        assert_eq!(result.fragments[1].crc32, rgz_checksum::crc32(&part_b));
+        assert_eq!(
+            result.fragments[0].trailer.unwrap().crc32,
+            rgz_checksum::crc32(&part_a)
+        );
+        assert_eq!(
+            result.fragments[1].trailer.unwrap().uncompressed_size,
+            part_b.len() as u32
+        );
     }
 
     #[test]
@@ -378,9 +464,22 @@ mod tests {
         let shared = SharedFileReader::from_bytes(compressed);
 
         // Decode chunk 0 directly to learn the exact boundary and window.
-        let chunk0 =
-            decode_chunk_at(&shared, 0, (chunk_size as u64) * 8, &[], true, chunk_size).unwrap();
+        let chunk0 = decode_chunk_at(
+            &shared,
+            0,
+            (chunk_size as u64) * 8,
+            &[],
+            true,
+            chunk_size,
+            true,
+        )
+        .unwrap();
         assert!(!chunk0.reached_end_of_file);
+        // The member continues past the chunk: its only fragment carries no
+        // trailer but still hashes the chunk's bytes.
+        assert_eq!(chunk0.fragments.len(), 1);
+        assert!(chunk0.fragments[0].trailer.is_none());
+        assert_eq!(chunk0.fragments[0].crc32, rgz_checksum::crc32(&chunk0.data));
 
         // Speculatively decode guess index 1 and verify it lines up.
         let speculative = decode_speculative_chunk(&shared, chunk_size, 1)
@@ -389,12 +488,50 @@ mod tests {
         assert_eq!(speculative.requested_bit_offset, (chunk_size as u64) * 8);
         assert_eq!(speculative.found_bit_offset, chunk0.end_bit_offset);
         assert!(speculative.block_count >= 1);
+        assert!(
+            speculative.member_ends.is_empty(),
+            "a mid-member chunk records no member boundary"
+        );
 
         // Resolving its markers with chunk 0's window yields the original data.
         let window_start = chunk0.data.len().saturating_sub(32 * 1024);
         let resolved = replace_markers(&speculative.symbols, &chunk0.data[window_start..]).unwrap();
         let offset = chunk0.data.len();
         assert_eq!(&resolved[..], &data[offset..offset + resolved.len()]);
+    }
+
+    #[test]
+    fn speculative_chunks_record_member_boundaries() {
+        // Two multi-block members with several blocks per chunk: the chunk
+        // containing member A's end starts at a findable (non-final) block
+        // before A's final block, decodes across the boundary into member B,
+        // and must record the boundary with A's trailer.  (BGZF members are
+        // single final blocks the block finder never reports, so they
+        // exercise the on-demand path instead.)
+        let part_a = corpus(15_000);
+        let part_b = corpus(9_000);
+        let writer = GzipWriter::new(rgz_deflate::CompressorOptions {
+            block_size: 16 * 1024,
+            ..Default::default()
+        });
+        let compressed = writer.compress_members(&[&part_a, &part_b]);
+        let chunk_size = 8 * 1024;
+        assert!(compressed.len() > 4 * chunk_size);
+        let shared = SharedFileReader::from_bytes(compressed.clone());
+
+        let mut recorded = Vec::new();
+        for guess in 1..compressed.len().div_ceil(chunk_size) {
+            if let Some(chunk) = decode_speculative_chunk(&shared, chunk_size, guess).unwrap() {
+                recorded.extend(chunk.member_ends);
+            }
+        }
+        let crc_a = rgz_checksum::crc32(&part_a);
+        assert!(
+            recorded.iter().any(|&(end, footer)| end > 0
+                && footer.crc32 == crc_a
+                && footer.uncompressed_size == part_a.len() as u32),
+            "no speculative chunk recorded member A's trailer: {recorded:?}"
+        );
     }
 
     #[test]
@@ -430,7 +567,7 @@ mod tests {
         let compressed = GzipWriter::default().compress(&data);
         let shared = SharedFileReader::from_bytes(compressed);
         // Bit offset 12345 is (almost certainly) not a valid block start.
-        let result = decode_chunk_at(&shared, 12_345, u64::MAX, &[], false, 64 * 1024);
+        let result = decode_chunk_at(&shared, 12_345, u64::MAX, &[], false, 64 * 1024, false);
         assert!(result.is_err());
     }
 }

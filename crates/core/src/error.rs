@@ -38,6 +38,26 @@ pub enum CoreError {
         /// Total decompressed size.
         size: u64,
     },
+    /// A gzip member's decompressed data does not hash to the CRC-32 its
+    /// trailer stores (detected by the pipelined verification fold).
+    ChecksumMismatch {
+        /// Zero-based index of the offending member in the file.
+        member: u64,
+        /// CRC-32 stored in the member's trailer.
+        expected: u32,
+        /// CRC-32 folded from the decompressed chunk fragments.
+        actual: u32,
+    },
+    /// A gzip member's decompressed length does not match the ISIZE
+    /// (size modulo 2^32) its trailer stores.
+    MemberSizeMismatch {
+        /// Zero-based index of the offending member in the file.
+        member: u64,
+        /// ISIZE stored in the member's trailer.
+        expected: u32,
+        /// Actual decompressed length of the member.
+        actual: u64,
+    },
 }
 
 impl std::fmt::Display for CoreError {
@@ -61,6 +81,24 @@ impl std::fmt::Display for CoreError {
             CoreError::SeekOutOfRange { offset, size } => {
                 write!(f, "seek to {offset} is beyond the decompressed size {size}")
             }
+            CoreError::ChecksumMismatch {
+                member,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "CRC-32 mismatch in gzip member {member}: trailer stores {expected:#010x}, \
+                 decompressed data hashes to {actual:#010x}"
+            ),
+            CoreError::MemberSizeMismatch {
+                member,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "ISIZE mismatch in gzip member {member}: trailer stores {expected}, \
+                 decompressed length is {actual}"
+            ),
         }
     }
 }
@@ -131,5 +169,19 @@ mod tests {
         }
         .into();
         assert_eq!(back_to_io.kind(), std::io::ErrorKind::InvalidData);
+        let checksum = CoreError::ChecksumMismatch {
+            member: 3,
+            expected: 0xDEADBEEF,
+            actual: 0,
+        }
+        .to_string();
+        assert!(checksum.contains("member 3") && checksum.contains("0xdeadbeef"));
+        let size = CoreError::MemberSizeMismatch {
+            member: 1,
+            expected: 10,
+            actual: 11,
+        }
+        .to_string();
+        assert!(size.contains("ISIZE") && size.contains("member 1"));
     }
 }

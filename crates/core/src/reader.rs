@@ -6,12 +6,13 @@ use std::io::{Read, Seek, SeekFrom};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use rgz_deflate::{replace_markers, resolve_window, WindowUsage};
+use rgz_deflate::{replace_markers, replace_markers_hashed, resolve_window, WindowUsage};
 use rgz_fetcher::{Cache, TaskHandle, ThreadPool};
 use rgz_index::{GzipIndex, SeekPoint, WINDOW_SIZE};
 use rgz_io::{FileReader, SharedFileReader};
 
 use crate::chunk::{decode_chunk_at, decode_speculative_chunk, SpeculativeChunk};
+use crate::verify::{ChunkFragment, StreamVerifier, VerificationMode, VerificationStatistics};
 use crate::{CoreError, DEFAULT_CHUNK_SIZE};
 
 /// Configuration of a [`ParallelGzipReader`].
@@ -27,6 +28,11 @@ pub struct ParallelGzipReaderOptions {
     pub prefetch_degree: Option<usize>,
     /// Capacity of the cache of resolved chunks kept for random access.
     pub resolved_cache_chunks: usize,
+    /// Whether to verify member CRC-32s and ISIZEs during the sequential
+    /// pass.  [`VerificationMode::Full`] (the default) hashes every
+    /// decompressed byte on the worker threads and folds the per-chunk CRCs
+    /// in stream order with `crc32_combine`.
+    pub verification: VerificationMode,
 }
 
 impl Default for ParallelGzipReaderOptions {
@@ -38,6 +44,7 @@ impl Default for ParallelGzipReaderOptions {
             chunk_size: DEFAULT_CHUNK_SIZE,
             prefetch_degree: None,
             resolved_cache_chunks: 4,
+            verification: VerificationMode::default(),
         }
     }
 }
@@ -54,6 +61,12 @@ impl ParallelGzipReaderOptions {
     /// Sets the compressed chunk size.
     pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
         self.chunk_size = chunk_size.max(4 * 1024);
+        self
+    }
+
+    /// Sets the checksum verification mode.
+    pub fn with_verification(mut self, verification: VerificationMode) -> Self {
+        self.verification = verification;
         self
     }
 
@@ -91,6 +104,9 @@ struct SequentialPass {
     window: Arc<Vec<u8>>,
     /// Whether the whole file has been traversed.
     finished: bool,
+    /// Sequence number of the next committed chunk; orders the CRC fragment
+    /// fold even when worker threads finish out of order.
+    next_seq: u64,
 }
 
 enum ChunkData {
@@ -122,6 +138,9 @@ pub struct ParallelGzipReader {
     options: ParallelGzipReaderOptions,
     pool: Arc<ThreadPool>,
     state: Mutex<ReaderState>,
+    /// Stream-ordered CRC fold; shared with the worker threads, which submit
+    /// their chunk's fragments as soon as marker replacement finishes.
+    verifier: Arc<Mutex<StreamVerifier>>,
     /// Current logical read position in the decompressed stream.
     position: u64,
 }
@@ -149,6 +168,7 @@ impl ParallelGzipReader {
         index.window_map.set_pool(pool.clone());
         Ok(Self {
             pool,
+            verifier: Arc::new(Mutex::new(StreamVerifier::new(options.verification))),
             state: Mutex::new(ReaderState {
                 index,
                 pass: SequentialPass {
@@ -156,6 +176,7 @@ impl ParallelGzipReader {
                     next_uncompressed_offset: 0,
                     window: Arc::new(Vec::new()),
                     finished: false,
+                    next_seq: 0,
                 },
                 chunk_data: HashMap::new(),
                 resolved_cache: Cache::new(options.resolved_cache_chunks.max(1)),
@@ -226,6 +247,23 @@ impl ParallelGzipReader {
         self.state.lock().index.window_map.statistics()
     }
 
+    /// Counters of the checksum verification pipeline: members verified,
+    /// bytes hashed, and the running whole-stream CRC-32.
+    ///
+    /// Verification covers the sequential first pass; chunks decoded through
+    /// an imported index (random access fast path) are not re-verified.
+    pub fn verification_statistics(&self) -> VerificationStatistics {
+        self.verifier.lock().statistics()
+    }
+
+    /// Errors with the first recorded member-trailer mismatch, if any.
+    fn check_verification(&self) -> Result<(), CoreError> {
+        if self.options.verification == VerificationMode::Off {
+            return Ok(());
+        }
+        self.verifier.lock().check()
+    }
+
     /// Total decompressed size, if already known (i.e. after a full pass or
     /// when an index was imported).
     pub fn uncompressed_size(&self) -> Option<u64> {
@@ -261,23 +299,25 @@ impl ParallelGzipReader {
         Ok(self.index())
     }
 
-    /// Decompresses the whole stream into memory (convenience wrapper around
-    /// the `Read` implementation).
+    /// Decompresses the whole stream into memory.
+    ///
+    /// Unlike going through the `Read` implementation, this preserves typed
+    /// [`CoreError`]s — in particular [`CoreError::ChecksumMismatch`] names
+    /// the offending member instead of being flattened into an I/O error.
     pub fn decompress_all(&mut self) -> Result<Vec<u8>, CoreError> {
         let mut out = Vec::new();
-        self.seek(SeekFrom::Start(0)).map_err(CoreError::Io)?;
-        Read::read_to_end(self, &mut out).map_err(CoreError::Io)?;
+        self.decompress_to(&mut out)?;
         Ok(out)
     }
 
     /// Decompresses the whole stream into a writer, returning the number of
     /// bytes written.
     pub fn decompress_to(&mut self, writer: &mut impl std::io::Write) -> Result<u64, CoreError> {
-        self.seek(SeekFrom::Start(0)).map_err(CoreError::Io)?;
+        self.position = 0;
         let mut buffer = vec![0u8; 1 << 20];
         let mut total = 0u64;
         loop {
-            let read = Read::read(self, &mut buffer).map_err(CoreError::Io)?;
+            let read = self.read_at_position(&mut buffer)?;
             if read == 0 {
                 return Ok(total);
             }
@@ -290,7 +330,8 @@ impl ParallelGzipReader {
 
     /// Advances the sequential pass by one chunk, extending the index.
     fn advance_one_chunk(&self) -> Result<(), CoreError> {
-        let (start_bit, uncompressed_offset, window) = {
+        let verify = self.options.verification == VerificationMode::Full;
+        let (start_bit, uncompressed_offset, window, seq) = {
             let state = self.state.lock();
             if state.pass.finished {
                 return Ok(());
@@ -299,6 +340,7 @@ impl ParallelGzipReader {
                 state.pass.next_start_bit,
                 state.pass.next_uncompressed_offset,
                 state.pass.window.clone(),
+                state.pass.next_seq,
             )
         };
 
@@ -355,8 +397,36 @@ impl ParallelGzipReader {
                 window_for_next = Arc::new(next_window);
                 let window_clone = window.clone();
                 let symbols = chunk.symbols;
+                let member_ends = chunk.member_ends;
+                let verifier = self.verifier.clone();
                 let handle = self.pool.submit(move || {
-                    replace_markers(&symbols, &window_clone).map_err(CoreError::Deflate)
+                    if verify {
+                        // Hash the resolved bytes per member fragment right
+                        // here on the worker, then hand the fragments to the
+                        // stream-ordered fold.
+                        let ends: Vec<usize> =
+                            member_ends.iter().map(|&(end, _)| end as usize).collect();
+                        let (data, crcs) = replace_markers_hashed(&symbols, &window_clone, &ends)
+                            .map_err(CoreError::Deflate)?;
+                        let mut fragments = Vec::with_capacity(crcs.len());
+                        let mut start = 0u64;
+                        for (index, crc32) in crcs.into_iter().enumerate() {
+                            let (length, trailer) = match member_ends.get(index) {
+                                Some(&(end, footer)) => (end - start, Some(footer)),
+                                None => (data.len() as u64 - start, None),
+                            };
+                            fragments.push(ChunkFragment {
+                                crc32,
+                                length,
+                                trailer,
+                            });
+                            start += length;
+                        }
+                        verifier.lock().submit(seq, fragments);
+                        Ok(data)
+                    } else {
+                        replace_markers(&symbols, &window_clone).map_err(CoreError::Deflate)
+                    }
                 });
                 data_handle = ChunkData::Pending(handle);
                 self.state.lock().statistics.speculative_chunks_used += 1;
@@ -367,14 +437,20 @@ impl ParallelGzipReader {
                 }
                 // Decode on demand with the known window (first chunk, false
                 // positive, or no speculative result available).
-                let result = decode_chunk_at(
+                let mut result = decode_chunk_at(
                     &self.reader,
                     start_bit,
                     stop_bit,
                     &window,
                     start_bit == 0,
                     self.options.chunk_size,
+                    verify,
                 )?;
+                if verify {
+                    self.verifier
+                        .lock()
+                        .submit(seq, std::mem::take(&mut result.fragments));
+                }
                 end_bit = result.end_bit_offset;
                 chunk_length = result.data.len() as u64;
                 reached_end_of_file = result.reached_end_of_file;
@@ -407,6 +483,7 @@ impl ParallelGzipReader {
         state.pass.next_start_bit = end_bit;
         state.pass.next_uncompressed_offset = uncompressed_offset + chunk_length;
         state.pass.window = window_for_next;
+        state.pass.next_seq = seq + 1;
         if reached_end_of_file || end_bit >= file_bits {
             state.pass.finished = true;
             state.index.uncompressed_size = state.index.block_map.uncompressed_size();
@@ -416,7 +493,11 @@ impl ParallelGzipReader {
         state
             .speculative_ready
             .retain(|&found, _| found >= next_start);
-        Ok(())
+        drop(state);
+        // Surface any mismatch the fold has found so far (an on-demand chunk
+        // submits synchronously; speculative workers may have reported a
+        // failure from an earlier chunk by now).
+        self.check_verification()
     }
 
     /// Looks for a finished speculative chunk starting exactly at `start_bit`;
@@ -514,6 +595,10 @@ impl ParallelGzipReader {
                 Some(ChunkData::Pending(handle)) => {
                     drop(state);
                     let data = Arc::new(handle.wait()?);
+                    // The worker that produced this chunk has submitted its
+                    // CRC fragments by now; fail the read if the fold caught
+                    // a trailer mismatch.
+                    self.check_verification()?;
                     let mut state = self.state.lock();
                     state.resolved_cache.insert(key, data.clone());
                     return Ok(data);
@@ -540,6 +625,9 @@ impl ParallelGzipReader {
                 .map(|p| p.compressed_bit_offset)
                 .unwrap_or(u64::MAX)
         };
+        // Chunks re-decoded through the index are not folded into the stream
+        // verification (they were either verified during the sequential pass
+        // or come from an imported index that skips it), so skip hashing.
         let result = decode_chunk_at(
             &self.reader,
             key,
@@ -547,6 +635,7 @@ impl ParallelGzipReader {
             &window,
             key == 0,
             self.options.chunk_size,
+            false,
         )?;
         if result.data.len() as u64 != point.uncompressed_size {
             return Err(CoreError::IndexMismatch {
@@ -582,7 +671,11 @@ impl ParallelGzipReader {
             // The index does not (yet) cover the position.
             let finished = self.state.lock().pass.finished;
             if finished {
-                return Ok(0); // end of stream
+                // End of stream: a sequential pass has waited on every chunk
+                // by now, so a corrupt trailer anywhere must have been folded
+                // and is reported here at the latest.
+                self.check_verification()?;
+                return Ok(0);
             }
             self.advance_one_chunk()?;
         }
@@ -640,8 +733,7 @@ mod tests {
         ParallelGzipReaderOptions {
             parallelization,
             chunk_size,
-            prefetch_degree: None,
-            resolved_cache_chunks: 4,
+            ..Default::default()
         }
     }
 
@@ -816,8 +908,8 @@ mod tests {
             ParallelGzipReaderOptions {
                 parallelization: 2,
                 chunk_size: 128 * 1024,
-                prefetch_degree: None,
                 resolved_cache_chunks: 1,
+                ..Default::default()
             },
             imported,
         )
@@ -837,11 +929,10 @@ mod tests {
 
     #[test]
     fn corrupted_input_never_yields_the_original_data_silently() {
-        // The parallel reader does not verify member CRCs (the paper lists
-        // checksum computation as future work), so corruption must either
-        // surface as an error or as data that differs from the original —
-        // never as a silent, seemingly correct result, and never as a panic
-        // or hang.
+        // With full verification (the default) any corruption that still
+        // decodes must be caught by the CRC fold; corruption that breaks
+        // decoding must error.  Either way: never a silent, seemingly
+        // correct result, and never a panic or hang.
         let data = base64_random(500_000, 9);
         let pristine = GzipWriter::default().compress(&data);
         for flip_at in [
@@ -858,6 +949,77 @@ mod tests {
                 Ok(restored) => assert_ne!(restored, data, "corruption at byte {flip_at} vanished"),
             }
         }
+    }
+
+    #[test]
+    fn corrupted_trailer_crc_is_reported_with_the_member_index() {
+        let part_a = base64_random(400_000, 21);
+        let part_b = silesia_like(500_000, 22);
+        let writer = GzipWriter::default();
+        let mut compressed = writer.compress_members(&[&part_a, &part_b]);
+        // The second member's trailer CRC is in the file's final 8 bytes;
+        // flip one bit of it so the stream still decodes but the fold must
+        // flag member 1.
+        let length = compressed.len();
+        compressed[length - 6] ^= 0x10;
+        let mut reader =
+            ParallelGzipReader::from_bytes(compressed.clone(), options(4, 64 * 1024)).unwrap();
+        match reader.decompress_all() {
+            Err(CoreError::ChecksumMismatch { member, .. }) => assert_eq!(member, 1),
+            other => panic!("expected a checksum mismatch for member 1, got {other:?}"),
+        }
+
+        // The same file decompresses fine with verification off.
+        let mut unverified = ParallelGzipReader::from_bytes(
+            compressed,
+            options(4, 64 * 1024).with_verification(VerificationMode::Off),
+        )
+        .unwrap();
+        let mut expected = part_a;
+        expected.extend_from_slice(&part_b);
+        assert_eq!(unverified.decompress_all().unwrap(), expected);
+        assert_eq!(unverified.verification_statistics().members_verified, 0);
+    }
+
+    #[test]
+    fn corrupted_isize_is_reported_even_when_the_crc_matches() {
+        let data = base64_random(300_000, 23);
+        let mut compressed = GzipWriter::default().compress(&data);
+        // ISIZE occupies the final 4 bytes; the CRC before it stays intact.
+        let length = compressed.len();
+        compressed[length - 1] ^= 0x80;
+        let mut reader = ParallelGzipReader::from_bytes(compressed, options(4, 64 * 1024)).unwrap();
+        match reader.decompress_all() {
+            Err(CoreError::MemberSizeMismatch { member, actual, .. }) => {
+                assert_eq!(member, 0);
+                assert_eq!(actual, data.len() as u64);
+            }
+            other => panic!("expected an ISIZE mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn verification_statistics_cover_the_whole_stream() {
+        let parts = [
+            base64_random(300_000, 24),
+            silesia_like(400_000, 25),
+            fastq_records(2_000, 26),
+        ];
+        let refs: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
+        let compressed = GzipWriter::default().compress_members(&refs);
+        let mut expected = Vec::new();
+        for part in &parts {
+            expected.extend_from_slice(part);
+        }
+        let mut reader = ParallelGzipReader::from_bytes(compressed, options(4, 64 * 1024)).unwrap();
+        assert_eq!(reader.decompress_all().unwrap(), expected);
+        let statistics = reader.verification_statistics();
+        assert_eq!(statistics.mode, VerificationMode::Full);
+        assert_eq!(statistics.members_verified, 3);
+        assert_eq!(statistics.bytes_verified, expected.len() as u64);
+        assert_eq!(statistics.chunks_pending, 0);
+        assert_eq!(statistics.stream_crc32, rgz_checksum::crc32(&expected));
+        assert!(statistics.fragments_folded >= 3);
     }
 
     #[test]

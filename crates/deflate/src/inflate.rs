@@ -67,6 +67,11 @@ pub struct InflateOutcome {
     /// [`crate::markers::WindowUsage`]).  Empty when the data is
     /// self-contained.
     pub window_usage: Vec<(u32, u32)>,
+    /// CRC-32 of the bytes *this call* appended to the output, when decoding
+    /// through [`inflate_hashed`]; `None` for the unhashed entry points and
+    /// for two-stage decoding (marker symbols cannot be hashed before
+    /// replacement).
+    pub crc32: Option<u32>,
 }
 
 impl InflateOutcome {
@@ -150,7 +155,22 @@ pub fn inflate(
     out: &mut Vec<u8>,
     stop_offset: u64,
 ) -> Result<InflateOutcome, DeflateError> {
-    inflate_limited(reader, window, out, stop_offset, usize::MAX)
+    inflate_impl(reader, window, out, stop_offset, usize::MAX, false)
+}
+
+/// [`inflate`] that additionally computes the CRC-32 of the bytes it appends
+/// to `out`, reported in [`InflateOutcome::crc32`].  Because one inflate call
+/// never crosses a gzip member boundary, the hash of one call is exactly the
+/// member-CRC fragment the verification pipeline folds with
+/// `crc32_combine` — and it is computed here, on the thread that decoded the
+/// data, so hashing parallelizes with decompression across chunks.
+pub fn inflate_hashed(
+    reader: &mut BitReader<'_>,
+    window: &[u8],
+    out: &mut Vec<u8>,
+    stop_offset: u64,
+) -> Result<InflateOutcome, DeflateError> {
+    inflate_impl(reader, window, out, stop_offset, usize::MAX, true)
 }
 
 /// [`inflate`] with an upper bound on the total length of `out`: decoding an
@@ -163,6 +183,17 @@ pub fn inflate_limited(
     out: &mut Vec<u8>,
     stop_offset: u64,
     output_limit: usize,
+) -> Result<InflateOutcome, DeflateError> {
+    inflate_impl(reader, window, out, stop_offset, output_limit, false)
+}
+
+fn inflate_impl(
+    reader: &mut BitReader<'_>,
+    window: &[u8],
+    out: &mut Vec<u8>,
+    stop_offset: u64,
+    output_limit: usize,
+    hash_output: bool,
 ) -> Result<InflateOutcome, DeflateError> {
     let start_len = out.len();
     let mut sink = ByteSink {
@@ -213,11 +244,15 @@ pub fn inflate_limited(
     };
 
     *out = sink.out;
+    // Hashing after the decode loop keeps the per-byte hot path untouched;
+    // the slicing-by-eight CRC makes this one cheap linear pass.
+    let crc32 = hash_output.then(|| rgz_checksum::crc32(&out[start_len..]));
     Ok(InflateOutcome {
         blocks,
         stop_reason,
         end_position: reader.position(),
         window_usage: sink.usage.intervals(),
+        crc32,
     })
 }
 
@@ -361,6 +396,7 @@ pub fn inflate_two_stage(
         stop_reason,
         end_position: reader.position(),
         window_usage: sink.usage.intervals(),
+        crc32: None,
     })
 }
 
@@ -417,6 +453,24 @@ mod tests {
         let outcome = inflate(&mut reader, &[], &mut out, u64::MAX).unwrap();
         assert!(out.is_empty());
         assert!(outcome.stream_ended());
+    }
+
+    #[test]
+    fn inflate_hashed_reports_the_crc_of_the_appended_bytes() {
+        let data = b"hash me, hash me thoroughly ".repeat(3000);
+        let compressed = compress(&data);
+        let mut reader = BitReader::new(&compressed);
+        // Pre-existing buffer contents must not leak into the hash.
+        let mut out = b"prefix".to_vec();
+        let outcome = inflate_hashed(&mut reader, &[], &mut out, u64::MAX).unwrap();
+        assert_eq!(&out[6..], &data[..]);
+        assert_eq!(outcome.crc32, Some(rgz_checksum::crc32(&data)));
+
+        // The unhashed entry points report no checksum.
+        let mut reader = BitReader::new(&compressed);
+        let mut plain = Vec::new();
+        let outcome = inflate(&mut reader, &[], &mut plain, u64::MAX).unwrap();
+        assert_eq!(outcome.crc32, None);
     }
 
     #[test]

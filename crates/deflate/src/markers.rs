@@ -170,6 +170,35 @@ pub fn replace_markers_into(
     Ok(())
 }
 
+/// [`replace_markers`] variant for the verification pipeline: resolves the
+/// symbols and returns, alongside the bytes, the CRC-32 of every *fragment*
+/// of the output delimited by `fragment_ends` (sorted end offsets in symbol
+/// space, one per gzip member boundary inside the chunk).  The returned
+/// vector always has `fragment_ends.len() + 1` entries — the last one hashes
+/// the (possibly empty) tail that continues into the next chunk.
+///
+/// Hashing happens here, right after replacement while the resolved bytes
+/// are cache-hot, on whichever worker thread runs the replacement — so
+/// checksum computation parallelizes with decoding exactly like the
+/// replacement itself does.
+pub fn replace_markers_hashed(
+    symbols: &[u16],
+    window: &[u8],
+    fragment_ends: &[usize],
+) -> Result<(Vec<u8>, Vec<u32>), DeflateError> {
+    let out = replace_markers(symbols, window)?;
+    debug_assert!(fragment_ends.windows(2).all(|w| w[0] <= w[1]));
+    debug_assert!(fragment_ends.iter().all(|&end| end <= out.len()));
+    let mut crcs = Vec::with_capacity(fragment_ends.len() + 1);
+    let mut start = 0usize;
+    for &end in fragment_ends {
+        crcs.push(rgz_checksum::crc32(&out[start..end]));
+        start = end;
+    }
+    crcs.push(rgz_checksum::crc32(&out[start..]));
+    Ok((out, crcs))
+}
+
 /// Resolves only the markers contained in the final `WINDOW_SIZE` symbols of
 /// `symbols`, returning the 32 KiB (or shorter) byte window that a *following*
 /// chunk needs.
@@ -240,6 +269,35 @@ mod tests {
             replace_markers(&[oldest_valid - 1], &window),
             Err(DeflateError::MarkerOutsideWindow { .. })
         ));
+    }
+
+    #[test]
+    fn hashed_replacement_fragments_cover_the_output() {
+        let window: Vec<u8> = (0..WINDOW_SIZE).map(|i| (i % 256) as u8).collect();
+        let symbols: Vec<u16> = (0..1000u16)
+            .map(|i| {
+                if i % 7 == 0 {
+                    MARKER_BASE + (WINDOW_SIZE as u16 - 1 - (i % 100))
+                } else {
+                    i % 256
+                }
+            })
+            .collect();
+        let plain = replace_markers(&symbols, &window).unwrap();
+
+        let ends = [0usize, 137, 137, 999];
+        let (resolved, crcs) = replace_markers_hashed(&symbols, &window, &ends).unwrap();
+        assert_eq!(resolved, plain);
+        assert_eq!(crcs.len(), ends.len() + 1);
+        let mut start = 0usize;
+        for (&end, &crc) in ends.iter().zip(&crcs) {
+            assert_eq!(crc, rgz_checksum::crc32(&plain[start..end]));
+            start = end;
+        }
+        assert_eq!(*crcs.last().unwrap(), rgz_checksum::crc32(&plain[999..]));
+        // No splits: one fragment hashing the whole chunk.
+        let (_, whole) = replace_markers_hashed(&symbols, &window, &[]).unwrap();
+        assert_eq!(whole, vec![rgz_checksum::crc32(&plain)]);
     }
 
     #[test]

@@ -5,8 +5,7 @@
 //! validated against in tests.
 
 use rgz_bitio::BitReader;
-use rgz_checksum::Crc32;
-use rgz_deflate::inflate;
+use rgz_deflate::{inflate, inflate_hashed};
 
 use crate::header::{parse_footer, parse_header, GzipHeader};
 use crate::GzipError;
@@ -103,16 +102,20 @@ impl GzipDecoder {
             };
 
             let member_start = out.len();
-            let outcome = inflate(&mut reader, &[], &mut out, u64::MAX)?;
+            // One inflate call covers exactly one member, so the hashed
+            // decoder's per-call CRC is the member CRC the footer stores.
+            let outcome = if self.verify_checksums {
+                inflate_hashed(&mut reader, &[], &mut out, u64::MAX)?
+            } else {
+                inflate(&mut reader, &[], &mut out, u64::MAX)?
+            };
             if !outcome.stream_ended() {
                 return Err(GzipError::Truncated);
             }
             let footer = parse_footer(&mut reader)?;
             let member_data = &out[member_start..];
             if self.verify_checksums {
-                let mut crc = Crc32::new();
-                crc.update(member_data);
-                let computed = crc.finalize();
+                let computed = outcome.crc32.expect("hashed inflate reports a CRC");
                 if computed != footer.crc32 {
                     return Err(GzipError::ChecksumMismatch {
                         stored: footer.crc32,
