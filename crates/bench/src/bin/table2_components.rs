@@ -1,14 +1,40 @@
 //! Table 2: bandwidths of the individual components (block finder variants,
-//! Non-Compressed Block finder, marker replacement, writing, newline count).
+//! Non-Compressed Block finder, one-stage inflate, marker replacement,
+//! writing, newline count).
+//!
+//! The one-stage inflate rows measure the multi-symbol fast path against the
+//! single-symbol reference decoder on the base64 and silesia corpora; the
+//! `speedup_*` metrics are the machine-independent ratios the CI `perf-smoke`
+//! job gates on.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rgz_bench::*;
+use rgz_bitio::BitReader;
 use rgz_blockfinder::{
     BlockFinder, CustomParseFinder, DynamicBlockFinder, PugzLikeFinder, SkipLutFinder,
     TrialInflateFinder, UncompressedBlockFinder,
 };
-use rgz_deflate::{replace_markers, MARKER_BASE};
+use rgz_deflate::{
+    inflate, inflate_single_symbol, replace_markers, CompressorOptions, DeflateCompressor,
+    MARKER_BASE,
+};
+
+fn row(
+    report: &mut JsonReport,
+    json: bool,
+    label: &str,
+    key: &str,
+    bytes: usize,
+    duration: std::time::Duration,
+) -> f64 {
+    let bandwidth = bandwidth_mb_per_s(bytes, duration);
+    if !json {
+        println!("{label:<28} {bandwidth:>16.3}");
+    }
+    report.record(key, bandwidth);
+    bandwidth
+}
 
 fn scan(finder: &dyn BlockFinder, data: &[u8]) -> u64 {
     let mut count = 0u64;
@@ -21,33 +47,115 @@ fn scan(finder: &dyn BlockFinder, data: &[u8]) -> u64 {
 }
 
 fn main() {
-    print_header(
-        "Table 2 — component bandwidths",
-        "all single-threaded, on random data (finders) / marker data (replacement)",
-    );
+    let json = json_mode();
+    let mut report = JsonReport::new("table2_components");
+    if !json {
+        print_header(
+            "Table 2 — component bandwidths",
+            "all single-threaded, on random data (finders) / marker data (replacement)",
+        );
+        println!("{:<28} {:>16}", "component", "bandwidth MB/s");
+    }
+
     let mut rng = StdRng::seed_from_u64(2);
     let finder_megabytes = scaled(8, 2);
     let random: Vec<u8> = (0..finder_megabytes << 20).map(|_| rng.gen()).collect();
     // The trial-inflate finder is orders of magnitude slower; give it less data.
     let random_small = &random[..random.len().min(scaled(256 << 10, 64 << 10))];
 
-    println!("{:<28} {:>16}", "component", "bandwidth MB/s");
-    let row = |label: &str, bytes: usize, duration: std::time::Duration| {
-        println!("{label:<28} {:>16.3}", bandwidth_mb_per_s(bytes, duration));
-    };
-
     let (_, duration) = best_of(|| scan(&TrialInflateFinder, random_small));
-    row("DBF zlib (trial inflate)", random_small.len(), duration);
+    row(
+        &mut report,
+        json,
+        "DBF zlib (trial inflate)",
+        "dbf_zlib_mb_s",
+        random_small.len(),
+        duration,
+    );
     let (_, duration) = best_of(|| scan(&CustomParseFinder, &random));
-    row("DBF custom deflate", random.len(), duration);
+    row(
+        &mut report,
+        json,
+        "DBF custom deflate",
+        "dbf_custom_mb_s",
+        random.len(),
+        duration,
+    );
     let (_, duration) = best_of(|| scan(&PugzLikeFinder::default(), &random));
-    row("Pugz block finder", random.len(), duration);
+    row(
+        &mut report,
+        json,
+        "Pugz block finder",
+        "dbf_pugz_mb_s",
+        random.len(),
+        duration,
+    );
     let (_, duration) = best_of(|| scan(&SkipLutFinder, &random));
-    row("DBF skip-LUT", random.len(), duration);
+    row(
+        &mut report,
+        json,
+        "DBF skip-LUT",
+        "dbf_skip_lut_mb_s",
+        random.len(),
+        duration,
+    );
     let (_, duration) = best_of(|| scan(&DynamicBlockFinder::new(), &random));
-    row("DBF rapidgzip", random.len(), duration);
+    row(
+        &mut report,
+        json,
+        "DBF rapidgzip",
+        "dbf_rapidgzip_mb_s",
+        random.len(),
+        duration,
+    );
     let (_, duration) = best_of(|| scan(&UncompressedBlockFinder::new(), &random));
-    row("NBF", random.len(), duration);
+    row(&mut report, json, "NBF", "nbf_mb_s", random.len(), duration);
+
+    // One-stage inflate: the multi-symbol fast path versus the single-symbol
+    // reference decoder (the tentpole measurement; deterministic seeds so CI
+    // runs are comparable).
+    let corpus_bytes = scaled(32 << 20, 4 << 20);
+    for (name, data) in [
+        ("base64", rgz_datagen::base64_random(corpus_bytes, 7)),
+        ("silesia", rgz_datagen::silesia_like(corpus_bytes, 7)),
+    ] {
+        let compressed = DeflateCompressor::new(CompressorOptions::default()).compress(&data);
+        let (out, duration) = best_of(|| {
+            let mut reader = BitReader::new(&compressed);
+            let mut out = Vec::with_capacity(data.len());
+            inflate_single_symbol(&mut reader, &[], &mut out, u64::MAX).unwrap();
+            out
+        });
+        assert_eq!(out, data, "single-symbol decode must round-trip");
+        let single = row(
+            &mut report,
+            json,
+            &format!("Inflate 1-symbol ({name})"),
+            &format!("inflate_single_{name}_mb_s"),
+            data.len(),
+            duration,
+        );
+        let (out, duration) = best_of(|| {
+            let mut reader = BitReader::new(&compressed);
+            let mut out = Vec::with_capacity(data.len());
+            inflate(&mut reader, &[], &mut out, u64::MAX).unwrap();
+            out
+        });
+        assert_eq!(out, data, "multi-symbol decode must round-trip");
+        let multi = row(
+            &mut report,
+            json,
+            &format!("Inflate multi-sym ({name})"),
+            &format!("inflate_multi_{name}_mb_s"),
+            data.len(),
+            duration,
+        );
+        let speedup = multi / single;
+        if !json {
+            println!("{:<28} {:>15.2}x", format!("  speedup ({name})"), speedup);
+        }
+        report.record(&format!("speedup_{name}"), speedup);
+    }
 
     // Marker replacement.
     let window: Vec<u8> = (0..32 * 1024).map(|i| (i % 251) as u8).collect();
@@ -61,7 +169,14 @@ fn main() {
         })
         .collect();
     let (_, duration) = best_of(|| replace_markers(&symbols, &window).unwrap());
-    row("Marker replacement", symbols.len(), duration);
+    row(
+        &mut report,
+        json,
+        "Marker replacement",
+        "marker_replacement_mb_s",
+        symbols.len(),
+        duration,
+    );
 
     // Writing to a file in /dev/shm (or the temp dir as a fallback).
     let out_dir = if std::path::Path::new("/dev/shm").is_dir() {
@@ -72,10 +187,28 @@ fn main() {
     let out_path = out_dir.join("rgz_table2_write.bin");
     let payload = rgz_datagen::base64_random(scaled(256 << 20, 32 << 20), 3);
     let (_, duration) = best_of(|| std::fs::write(&out_path, &payload).unwrap());
-    row("Write to /dev/shm/", payload.len(), duration);
+    row(
+        &mut report,
+        json,
+        "Write to /dev/shm/",
+        "write_shm_mb_s",
+        payload.len(),
+        duration,
+    );
     std::fs::remove_file(&out_path).ok();
 
     // Counting newlines.
     let (_, duration) = best_of(|| payload.iter().filter(|&&b| b == b'\n').count());
-    row("Count newlines", payload.len(), duration);
+    row(
+        &mut report,
+        json,
+        "Count newlines",
+        "count_newlines_mb_s",
+        payload.len(),
+        duration,
+    );
+
+    if json {
+        report.emit();
+    }
 }

@@ -1,0 +1,301 @@
+//! A minimal JSON reader/writer for the bench-report format.
+//!
+//! The workspace intentionally has no registry dependencies (everything under
+//! `vendor/` is a hand-written stand-in), so rather than vendoring serde this
+//! module implements the small JSON subset the perf harness emits: objects,
+//! strings, numbers, booleans and null, with `\"`/`\\`/`\n`/`\t`/`\r`
+//! string escapes.  Arrays are accepted on input for forward compatibility.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value (bench-report subset).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<JsonValue>),
+    Object(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// The value as a number, if it is one.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an object, if it is one.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, JsonValue>> {
+        match self {
+            JsonValue::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` in an object value.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.as_object()?.get(key)
+    }
+}
+
+/// Escapes a string for embedding in a JSON document (including the quotes).
+pub fn escape_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Parses one JSON document. Trailing whitespace is allowed, trailing
+/// content is an error.
+pub fn parse(input: &str) -> Result<JsonValue, String> {
+    let bytes = input.as_bytes();
+    let mut position = 0usize;
+    let value = parse_value(bytes, &mut position)?;
+    skip_whitespace(bytes, &mut position);
+    if position != bytes.len() {
+        return Err(format!("trailing content at byte {position}"));
+    }
+    Ok(value)
+}
+
+fn skip_whitespace(bytes: &[u8], position: &mut usize) {
+    while *position < bytes.len() && bytes[*position].is_ascii_whitespace() {
+        *position += 1;
+    }
+}
+
+fn expect(bytes: &[u8], position: &mut usize, byte: u8) -> Result<(), String> {
+    if bytes.get(*position) == Some(&byte) {
+        *position += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected '{}' at byte {position}",
+            byte as char,
+            position = *position
+        ))
+    }
+}
+
+fn parse_value(bytes: &[u8], position: &mut usize) -> Result<JsonValue, String> {
+    skip_whitespace(bytes, position);
+    match bytes.get(*position) {
+        Some(b'{') => parse_object(bytes, position),
+        Some(b'[') => parse_array(bytes, position),
+        Some(b'"') => Ok(JsonValue::String(parse_string(bytes, position)?)),
+        Some(b't') => parse_keyword(bytes, position, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, position, "false", JsonValue::Bool(false)),
+        Some(b'n') => parse_keyword(bytes, position, "null", JsonValue::Null),
+        Some(_) => parse_number(bytes, position),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn parse_keyword(
+    bytes: &[u8],
+    position: &mut usize,
+    keyword: &str,
+    value: JsonValue,
+) -> Result<JsonValue, String> {
+    if bytes[*position..].starts_with(keyword.as_bytes()) {
+        *position += keyword.len();
+        Ok(value)
+    } else {
+        Err(format!(
+            "invalid literal at byte {position}",
+            position = *position
+        ))
+    }
+}
+
+fn parse_number(bytes: &[u8], position: &mut usize) -> Result<JsonValue, String> {
+    let start = *position;
+    while *position < bytes.len()
+        && matches!(
+            bytes[*position],
+            b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'
+        )
+    {
+        *position += 1;
+    }
+    std::str::from_utf8(&bytes[start..*position])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(JsonValue::Number)
+        .ok_or_else(|| format!("invalid number at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], position: &mut usize) -> Result<String, String> {
+    expect(bytes, position, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*position) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *position += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *position += 1;
+                match bytes.get(*position) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*position + 1..*position + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or("invalid \\u escape")?;
+                        out.push(char::from_u32(hex).ok_or("invalid \\u code point")?);
+                        *position += 4;
+                    }
+                    _ => return Err(format!("invalid escape at byte {}", *position)),
+                }
+                *position += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (the input is a valid &str).
+                let rest = std::str::from_utf8(&bytes[*position..])
+                    .map_err(|_| "invalid UTF-8 in string")?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *position += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], position: &mut usize) -> Result<JsonValue, String> {
+    expect(bytes, position, b'[')?;
+    let mut items = Vec::new();
+    skip_whitespace(bytes, position);
+    if bytes.get(*position) == Some(&b']') {
+        *position += 1;
+        return Ok(JsonValue::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, position)?);
+        skip_whitespace(bytes, position);
+        match bytes.get(*position) {
+            Some(b',') => *position += 1,
+            Some(b']') => {
+                *position += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *position)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], position: &mut usize) -> Result<JsonValue, String> {
+    expect(bytes, position, b'{')?;
+    let mut map = BTreeMap::new();
+    skip_whitespace(bytes, position);
+    if bytes.get(*position) == Some(&b'}') {
+        *position += 1;
+        return Ok(JsonValue::Object(map));
+    }
+    loop {
+        skip_whitespace(bytes, position);
+        let key = parse_string(bytes, position)?;
+        skip_whitespace(bytes, position);
+        expect(bytes, position, b':')?;
+        let value = parse_value(bytes, position)?;
+        map.insert(key, value);
+        skip_whitespace(bytes, position);
+        match bytes.get(*position) {
+            Some(b',') => *position += 1,
+            Some(b'}') => {
+                *position += 1;
+                return Ok(JsonValue::Object(map));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *position)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_bench_report() {
+        let line = r#"{"bench":"table2_components","mode":"quick","metrics":{"a_mb_s":123.5,"speedup":1.42}}"#;
+        let value = parse(line).unwrap();
+        assert_eq!(
+            value.get("bench").unwrap().as_str(),
+            Some("table2_components")
+        );
+        let metrics = value.get("metrics").unwrap().as_object().unwrap();
+        assert_eq!(metrics["a_mb_s"].as_number(), Some(123.5));
+        assert_eq!(metrics["speedup"].as_number(), Some(1.42));
+    }
+
+    #[test]
+    fn round_trips_escapes_and_structure() {
+        let input = r#"{"key with \"quote\"":[1,-2.5,1e3,true,false,null,"line\nbreak"]}"#;
+        let value = parse(input).unwrap();
+        let items = match value.get("key with \"quote\"").unwrap() {
+            JsonValue::Array(items) => items,
+            other => panic!("expected array, got {other:?}"),
+        };
+        assert_eq!(items[0].as_number(), Some(1.0));
+        assert_eq!(items[1].as_number(), Some(-2.5));
+        assert_eq!(items[2].as_number(), Some(1000.0));
+        assert_eq!(items[3], JsonValue::Bool(true));
+        assert_eq!(items[6].as_str(), Some("line\nbreak"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse("{").is_err());
+        assert!(parse(r#"{"a":}"#).is_err());
+        assert!(parse(r#"{"a":1} trailing"#).is_err());
+        assert!(parse(r#"{"a" 1}"#).is_err());
+        assert!(parse("[1,2,,]").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn escape_string_round_trips() {
+        for s in [
+            "plain",
+            "with \"quotes\"",
+            "tab\there",
+            "new\nline",
+            "back\\slash",
+        ] {
+            let escaped = escape_string(s);
+            let parsed = parse(&escaped).unwrap();
+            assert_eq!(parsed.as_str(), Some(s), "escaped form: {escaped}");
+        }
+    }
+}

@@ -7,8 +7,19 @@
 //! All harness binaries accept `--quick` (or the environment variable
 //! `RGZ_BENCH_QUICK=1`) to run at CI-friendly sizes; without it they use
 //! larger corpora that take a few minutes in total.
+//!
+//! Binaries wired into the CI `perf-smoke` job additionally accept `--json`,
+//! which replaces the human-readable tables with one machine-readable JSON
+//! line on stdout (see [`JsonReport`]).  The checked-in `bench/baseline.json`
+//! and the per-PR `BENCH_pr.json` artifact both use this format, one report
+//! per line; `perf_compare` diffs them and enforces the regression threshold.
 
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
+
+pub mod json;
+
+pub use json::JsonValue;
 
 /// Returns true when the caller asked for CI-sized benchmarks.
 pub fn quick_mode() -> bool {
@@ -16,6 +27,65 @@ pub fn quick_mode() -> bool {
         || std::env::var("RGZ_BENCH_QUICK")
             .map(|v| v != "0")
             .unwrap_or(false)
+}
+
+/// Returns true when the caller asked for machine-readable one-line JSON
+/// output instead of the human tables.
+pub fn json_mode() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
+/// Accumulates a bench binary's metrics and renders them as the one-line
+/// JSON document shared by `BENCH_pr.json`, `bench/baseline.json` and the
+/// CI `perf-smoke` job.
+///
+/// Metric keys are sorted (BTreeMap) so output is diffable run to run.
+#[derive(Debug, Clone)]
+pub struct JsonReport {
+    bench: String,
+    metrics: BTreeMap<String, f64>,
+}
+
+impl JsonReport {
+    /// Creates a report for the bench binary `bench`.
+    pub fn new(bench: &str) -> Self {
+        Self {
+            bench: bench.to_string(),
+            metrics: BTreeMap::new(),
+        }
+    }
+
+    /// Records one metric. Non-finite values are recorded as 0 (JSON has no
+    /// NaN/Infinity, and a zero fails a regression gate loudly rather than
+    /// poisoning the file).
+    pub fn record(&mut self, key: &str, value: f64) {
+        let value = if value.is_finite() { value } else { 0.0 };
+        self.metrics.insert(key.to_string(), value);
+    }
+
+    /// Renders the one-line JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"bench\":{},\"mode\":{},\"metrics\":{{",
+            json::escape_string(&self.bench),
+            json::escape_string(if quick_mode() { "quick" } else { "full" }),
+        ));
+        for (i, (key, value)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{}", json::escape_string(key), value));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Prints the report to stdout (the contract of `--json` mode: exactly
+    /// one line, nothing else on stdout).
+    pub fn emit(&self) {
+        println!("{}", self.to_json());
+    }
 }
 
 /// Picks `full` or `quick` depending on [`quick_mode`].

@@ -71,11 +71,76 @@ impl<'a> BitReader<'a> {
 
     #[inline]
     fn refill(&mut self) {
+        // Fast path: load eight bytes in one go and advance by however many
+        // whole bytes fit into the buffer.  This leaves 56..=63 buffered bits;
+        // the byte loop below tops the buffer up to >56 bits (so that 57-bit
+        // peeks keep working) and handles the last seven bytes of the data.
+        if self.bit_count < 56 && self.next_byte + 8 <= self.data.len() {
+            let word = u64::from_le_bytes(
+                self.data[self.next_byte..self.next_byte + 8]
+                    .try_into()
+                    .expect("eight bytes were checked to be available"),
+            );
+            self.bit_buffer |= word << self.bit_count;
+            let added_bytes = (63 - self.bit_count) >> 3;
+            self.next_byte += added_bytes as usize;
+            self.bit_count += added_bytes * 8;
+        }
         while self.bit_count <= 56 && self.next_byte < self.data.len() {
             self.bit_buffer |= (self.data[self.next_byte] as u64) << self.bit_count;
             self.bit_count += 8;
             self.next_byte += 1;
         }
+    }
+
+    /// Refills the internal bit buffer from the underlying data.
+    ///
+    /// After the call the buffer holds at least 57 bits, unless fewer bits
+    /// remain in the input (in which case it holds all of them).  One call
+    /// amortises over several subsequent [`BitReader::peek_cached`] /
+    /// [`BitReader::consume_cached`] steps, which is what lets a multi-symbol
+    /// Huffman decoder consume 2+ symbols between bounds checks.
+    #[inline]
+    pub fn fill_buffer(&mut self) {
+        self.refill();
+    }
+
+    /// Number of bits currently buffered (available to
+    /// [`BitReader::peek_cached`] / [`BitReader::consume_cached`] without
+    /// another refill).
+    #[inline]
+    pub fn cached_bits(&self) -> u32 {
+        self.bit_count
+    }
+
+    /// Returns the next `count` bits without consuming them and **without
+    /// refilling** the buffer.
+    ///
+    /// Only the low [`BitReader::cached_bits`] bits of the result are
+    /// guaranteed meaningful.  Beyond them the value is *unspecified*: zero
+    /// at the true end of the input, but mid-stream the word-based refill
+    /// may leave (correct) not-yet-accounted input bits above `cached_bits`.
+    /// Callers must therefore guard with `cached_bits()` before acting on a
+    /// peek — the decode fast path only peeks after checking it has enough
+    /// buffered bits for the worst-case step.
+    #[inline]
+    pub fn peek_cached(&self, count: u32) -> u64 {
+        debug_assert!(count <= MAX_BITS_PER_READ);
+        self.bit_buffer & low_bit_mask(count)
+    }
+
+    /// Consumes `count` bits that are known to be buffered.
+    ///
+    /// Contract: `count <= cached_bits()`, checked only via `debug_assert`.
+    /// Violating it corrupts the reader's position tracking (it cannot cause
+    /// memory unsafety).  The decode fast path upholds it by refilling once
+    /// and then consuming at most `cached_bits()` bits before the next
+    /// refill.
+    #[inline]
+    pub fn consume_cached(&mut self, count: u32) {
+        debug_assert!(count <= self.bit_count);
+        self.bit_buffer >>= count;
+        self.bit_count -= count;
     }
 
     /// Returns the next `count` bits without consuming them.
@@ -341,7 +406,78 @@ mod tests {
         assert_eq!(reader.bytes_at(3, 2), None);
     }
 
+    #[test]
+    fn fill_buffer_guarantees_57_bits_when_available() {
+        let data: Vec<u8> = (0..64u8).collect();
+        let mut reader = BitReader::new(&data);
+        reader.fill_buffer();
+        assert!(reader.cached_bits() >= 57);
+        // Consuming odd amounts and refilling keeps the guarantee.
+        while reader.cached_bits() >= 13 {
+            reader.consume_cached(13);
+            reader.fill_buffer();
+            assert!(
+                reader.cached_bits() >= 57
+                    || reader.cached_bits() as u64 == reader.remaining_bits()
+            );
+        }
+        assert!(reader.remaining_bits() < 13);
+    }
+
+    #[test]
+    fn cached_peek_and_consume_match_read() {
+        let data: Vec<u8> = (0..=255u8).rev().collect();
+        let mut cached = BitReader::new(&data);
+        let mut reference = BitReader::new(&data);
+        let widths = [1u32, 13, 7, 13, 2, 13, 5, 13, 13, 3];
+        for &width in widths.iter().cycle().take(120) {
+            cached.fill_buffer();
+            if (cached.cached_bits()) < width {
+                break;
+            }
+            let peeked = cached.peek_cached(width);
+            cached.consume_cached(width);
+            assert_eq!(peeked, reference.read(width).unwrap());
+            assert_eq!(cached.position(), reference.position());
+        }
+    }
+
+    #[test]
+    fn fill_buffer_near_end_caches_exactly_the_remaining_bits() {
+        let data = [0xAB, 0xCD, 0xEF];
+        let mut reader = BitReader::new(&data);
+        reader.fill_buffer();
+        assert_eq!(reader.cached_bits(), 24);
+        reader.consume_cached(20);
+        reader.fill_buffer();
+        assert_eq!(reader.cached_bits(), 4);
+        assert_eq!(reader.peek_cached(4), 0xE);
+        // Bits past the end of the cached data peek as zero.
+        assert_eq!(reader.peek_cached(12), 0xE);
+        reader.consume_cached(4);
+        assert!(reader.is_at_end());
+    }
+
     proptest! {
+        #[test]
+        fn cached_api_matches_read_on_random_schedules(
+            data in proptest::collection::vec(any::<u8>(), 0..200),
+            widths in proptest::collection::vec(1u32..20, 0..200),
+        ) {
+            let mut cached = BitReader::new(&data);
+            let mut reference = BitReader::new(&data);
+            for &width in &widths {
+                cached.fill_buffer();
+                if cached.cached_bits() < width {
+                    prop_assert!(reference.read(width).is_err());
+                    break;
+                }
+                let peeked = cached.peek_cached(width);
+                cached.consume_cached(width);
+                prop_assert_eq!(peeked, reference.read(width).unwrap());
+            }
+        }
+
         #[test]
         fn chunked_reads_match_reference(data in proptest::collection::vec(any::<u8>(), 0..256),
                                          chunk_sizes in proptest::collection::vec(1u32..25, 0..200)) {

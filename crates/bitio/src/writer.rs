@@ -66,7 +66,7 @@ impl BitWriter {
 
     /// Pads with zero bits up to the next byte boundary.
     pub fn align_to_byte(&mut self) {
-        if !self.bit_count.is_multiple_of(8) {
+        if self.bit_count % 8 != 0 {
             let padding = 8 - (self.bit_count % 8);
             self.write_bits(0, padding);
         }

@@ -1,8 +1,10 @@
 //! DEFLATE block header parsing shared by the one-stage inflater, the
 //! two-stage inflater and the "custom deflate" block-finder variant.
 
+use std::sync::OnceLock;
+
 use rgz_bitio::BitReader;
-use rgz_huffman::HuffmanDecoder;
+use rgz_huffman::{HuffmanDecoder, MultiSymbolDecoder};
 
 use crate::constants::*;
 use crate::DeflateError;
@@ -66,6 +68,65 @@ pub fn fixed_block_codes() -> BlockCodes {
                 .expect("fixed distance code is valid"),
         ),
     }
+}
+
+/// The decoders the one-stage fast path uses for a compressed block: the
+/// multi-symbol literal table plus the single-symbol decoders it falls back
+/// to (over-long codes, near-end-of-input tails) and the distance decoder.
+///
+/// The two-stage (marker) decoder keeps using [`BlockCodes`]: marker symbols
+/// cannot be packed, so it never pays for the fast table.
+#[derive(Debug, Clone)]
+pub struct FastBlockCodes {
+    /// Single-symbol literal/length decoder — the exact reference fallback.
+    pub literal: HuffmanDecoder,
+    /// Multi-symbol literal/length fast table.
+    pub literal_fast: MultiSymbolDecoder,
+    /// `None` when the block declares no usable distance code; any
+    /// back-reference is then an error.
+    pub distance: Option<HuffmanDecoder>,
+}
+
+/// Fixed-block decoders for the fast path, built once per process: unlike
+/// Dynamic Blocks the fixed code never changes, so rebuilding its tables for
+/// every Fixed Block (as [`fixed_block_codes`] does) is pure overhead.
+pub fn fixed_block_codes_fast() -> &'static FastBlockCodes {
+    static CODES: OnceLock<FastBlockCodes> = OnceLock::new();
+    CODES.get_or_init(|| {
+        let literal_lengths = fixed_literal_lengths();
+        FastBlockCodes {
+            literal: HuffmanDecoder::from_code_lengths(&literal_lengths)
+                .expect("fixed literal code is valid"),
+            literal_fast: MultiSymbolDecoder::from_code_lengths(&literal_lengths)
+                .expect("fixed literal code is valid"),
+            distance: Some(
+                HuffmanDecoder::from_code_lengths(&fixed_distance_lengths())
+                    .expect("fixed distance code is valid"),
+            ),
+        }
+    })
+}
+
+/// Parses a Dynamic Block header and builds the fast-path decoders for its
+/// body (the multi-symbol table plus the single-symbol fallback).
+pub fn dynamic_block_codes_fast(
+    reader: &mut BitReader<'_>,
+) -> Result<FastBlockCodes, DeflateError> {
+    let header = parse_dynamic_header(reader)?;
+    let literal = HuffmanDecoder::from_code_lengths(&header.literal_lengths)
+        .map_err(DeflateError::InvalidLiteralCode)?;
+    let literal_fast = MultiSymbolDecoder::from_code_lengths(&header.literal_lengths)
+        .map_err(DeflateError::InvalidLiteralCode)?;
+    let distance = match HuffmanDecoder::from_code_lengths(&header.distance_lengths) {
+        Ok(decoder) => Some(decoder),
+        Err(rgz_huffman::HuffmanError::EmptyAlphabet) => None,
+        Err(error) => return Err(DeflateError::InvalidDistanceCode(error)),
+    };
+    Ok(FastBlockCodes {
+        literal,
+        literal_fast,
+        distance,
+    })
 }
 
 /// Raw contents of a Dynamic Block header, exposed for the block finder and
@@ -184,15 +245,15 @@ pub fn decode_length(symbol: u16, reader: &mut BitReader<'_>) -> Result<usize, D
 }
 
 /// Resolves a distance symbol to a match distance.
+///
+/// `distance_decoder` is `None` when the block declared no usable distance
+/// code (see [`BlockCodes::distance`] / [`FastBlockCodes::distance`]).
 #[inline]
 pub fn decode_distance(
-    codes: &BlockCodes,
+    distance_decoder: Option<&HuffmanDecoder>,
     reader: &mut BitReader<'_>,
 ) -> Result<usize, DeflateError> {
-    let decoder = codes
-        .distance
-        .as_ref()
-        .ok_or(DeflateError::BackReferenceWithoutDistanceCode)?;
+    let decoder = distance_decoder.ok_or(DeflateError::BackReferenceWithoutDistanceCode)?;
     let symbol = decoder
         .decode(reader)
         .map_err(DeflateError::InvalidDistanceCode)?;

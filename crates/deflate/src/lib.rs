@@ -21,8 +21,8 @@ pub mod markers;
 pub use block::{BlockType, DynamicHeader};
 pub use compress::{write_stored_block, CompressionLevel, CompressorOptions, DeflateCompressor};
 pub use inflate::{
-    inflate, inflate_hashed, inflate_limited, inflate_two_stage, BlockBoundary, InflateOutcome,
-    StopReason, MARKER_BASE,
+    inflate, inflate_hashed, inflate_limited, inflate_single_symbol, inflate_two_stage,
+    BlockBoundary, InflateOutcome, StopReason, MARKER_BASE,
 };
 pub use markers::{
     contains_markers, replace_markers, replace_markers_hashed, replace_markers_into,

@@ -1,9 +1,14 @@
 //! Canonical Huffman coding as used by DEFLATE (RFC 1951).
 //!
-//! Three pieces live here:
+//! Four pieces live here:
 //!
 //! * [`HuffmanDecoder`] — a table-driven decoder built from a list of code
 //!   lengths, the representation DEFLATE stores in Dynamic Block headers.
+//! * [`MultiSymbolDecoder`] — the ISA-L / zlib-ng style fast path: a
+//!   fixed-width lookup table whose entries resolve up to two symbols per
+//!   hit (two literals, or a literal plus a length symbol with its base and
+//!   extra-bit count cached), falling back to [`HuffmanDecoder`] for
+//!   over-long codes.
 //! * [`HuffmanEncoder`] — the canonical-code encoder used by the DEFLATE
 //!   compressor in `rgz-deflate`.
 //! * [`compute_code_lengths`] — length-limited code construction
@@ -17,10 +22,15 @@
 mod decoder;
 mod encoder;
 mod length_limited;
+mod multi;
 
 pub use decoder::HuffmanDecoder;
 pub use encoder::HuffmanEncoder;
 pub use length_limited::compute_code_lengths;
+pub use multi::{
+    length_symbol_info, FastEntry, FastEntryKind, MultiSymbolDecoder, FAST_TABLE_BITS, LENGTH_BASE,
+    LENGTH_EXTRA_BITS, MAX_LENGTH_EXTRA_BITS,
+};
 
 /// Maximum code length permitted for the DEFLATE literal/length and distance
 /// alphabets.

@@ -1,0 +1,513 @@
+//! Multi-symbol lookup-table decoder for the DEFLATE literal/length alphabet.
+//!
+//! The single-level [`crate::HuffmanDecoder`] resolves exactly one symbol per
+//! table hit, which the paper identifies as the dominant cost of its one-stage
+//! decoder versus ISA-L (§4.1).  [`MultiSymbolDecoder`] closes part of that
+//! gap the same way ISA-L and zlib-ng do: each entry of a fixed
+//! [`FAST_TABLE_BITS`]-bit table resolves as much as fits into the peeked
+//! window —
+//!
+//! * **two literals** when both codes together are at most
+//!   [`FAST_TABLE_BITS`] bits,
+//! * **a literal followed by a length symbol**, with the symbol's base match
+//!   length and extra-bit count cached in the entry so the hot loop never
+//!   touches the RFC 1951 length tables,
+//! * **a single literal / end-of-block / length symbol** otherwise,
+//! * a **fallback** tag for bit patterns that start a code longer than
+//!   [`FAST_TABLE_BITS`] bits (or match no code at all); the caller resolves
+//!   those through the exact single-symbol decoder so behaviour — including
+//!   error positions — is bit-for-bit identical.
+//!
+//! Symbols 286 and 287 (assignable only by the fixed code, never emitted by
+//! valid streams) also map to the fallback tag so that the reference
+//! decoder's error reporting is preserved unchanged.
+
+use rgz_bitio::reverse_bits;
+
+use crate::{canonical_codes, classify_code_lengths, CodeCompleteness, HuffmanError};
+
+/// Number of bits peeked per fast-table lookup.
+///
+/// Thirteen bits keep the table at 8 K entries (32 KiB, L1-resident) while
+/// still packing two typical literals — base64-heavy dynamic codes assign
+/// 6–7 bit literal codes, text corpora 7–9 bits.  Codes longer than this
+/// (the rarest symbols by construction) take the fallback path.
+pub const FAST_TABLE_BITS: u32 = 13;
+
+/// Maximum number of extra bits a length symbol can request (codes 281..=284).
+pub const MAX_LENGTH_EXTRA_BITS: u32 = 5;
+
+/// End-of-block symbol in the literal/length alphabet.
+const END_OF_BLOCK: u16 = 256;
+
+/// Base match length for length codes 257..=285 (RFC 1951 §3.2.5).
+///
+/// This is the authoritative copy: `rgz_deflate::constants` re-exports it so
+/// the fast path's cached entries and the reference decoder's
+/// `decode_length` resolve lengths from the same table.
+pub const LENGTH_BASE: [u16; 29] = [
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115, 131,
+    163, 195, 227, 258,
+];
+
+/// Extra bits for length codes 257..=285 (RFC 1951 §3.2.5); authoritative
+/// copy, re-exported by `rgz_deflate::constants`.
+pub const LENGTH_EXTRA_BITS: [u8; 29] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+];
+
+/// Returns `(base match length, extra bit count)` for a literal/length symbol,
+/// or `None` when the symbol is not a length symbol (257..=285).
+///
+/// Exposed so differential tests can map packed entries back to symbols; the
+/// bases are pairwise distinct, making the mapping invertible.
+#[inline]
+pub fn length_symbol_info(symbol: u16) -> Option<(u16, u8)> {
+    if !(257..=285).contains(&symbol) {
+        return None;
+    }
+    let index = (symbol - 257) as usize;
+    Some((LENGTH_BASE[index], LENGTH_EXTRA_BITS[index]))
+}
+
+/// What a fast-table entry resolves to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FastEntryKind {
+    /// The peeked bits start a code longer than [`FAST_TABLE_BITS`] bits,
+    /// match no code, or decode to symbol 286/287: the caller must decode one
+    /// symbol through the single-symbol reference decoder.
+    Fallback,
+    /// One literal; consume [`FastEntry::consumed_bits`], emit
+    /// [`FastEntry::literal`].
+    Literal,
+    /// Two literals; consume [`FastEntry::consumed_bits`], emit
+    /// [`FastEntry::literal`] then [`FastEntry::second_literal`].
+    LiteralPair,
+    /// The end-of-block symbol; consume [`FastEntry::consumed_bits`].
+    EndOfBlock,
+    /// A length symbol; consume [`FastEntry::consumed_bits`], then read
+    /// [`FastEntry::length_extra_bits`] extra bits and add them to
+    /// [`FastEntry::length_base`].
+    Length,
+    /// A literal followed by a length symbol: [`FastEntry::literal`] first,
+    /// then proceed as for [`FastEntryKind::Length`].
+    LiteralLength,
+}
+
+// Packed entry layout (u32):
+//   bits  0..=7   literal 1                  (Literal, LiteralPair, LiteralLength)
+//   bits  8..=15  literal 2                  (LiteralPair)
+//   bits  8..=16  length base, 3..=258       (Length, LiteralLength)
+//   bits 17..=19  length extra-bit count     (Length, LiteralLength)
+//   bits 20..=24  consumed code bits         (all kinds except Fallback)
+//   bits 25..=27  kind tag
+const KIND_SHIFT: u32 = 25;
+const CONSUMED_SHIFT: u32 = 20;
+const EXTRA_SHIFT: u32 = 17;
+const BASE_SHIFT: u32 = 8;
+
+const TAG_FALLBACK: u32 = 0;
+const TAG_LITERAL: u32 = 1;
+const TAG_LITERAL_PAIR: u32 = 2;
+const TAG_END_OF_BLOCK: u32 = 3;
+const TAG_LENGTH: u32 = 4;
+const TAG_LITERAL_LENGTH: u32 = 5;
+
+/// One packed fast-table entry; accessor validity depends on
+/// [`FastEntry::kind`] (see the layout comment above).
+#[derive(Debug, Clone, Copy)]
+pub struct FastEntry(u32);
+
+impl FastEntry {
+    /// What this entry resolves to.
+    #[inline]
+    pub fn kind(self) -> FastEntryKind {
+        match self.0 >> KIND_SHIFT {
+            TAG_LITERAL => FastEntryKind::Literal,
+            TAG_LITERAL_PAIR => FastEntryKind::LiteralPair,
+            TAG_END_OF_BLOCK => FastEntryKind::EndOfBlock,
+            TAG_LENGTH => FastEntryKind::Length,
+            TAG_LITERAL_LENGTH => FastEntryKind::LiteralLength,
+            _ => FastEntryKind::Fallback,
+        }
+    }
+
+    /// Total code bits the packed symbols occupy (excluding length extra
+    /// bits). Zero for fallback entries.
+    #[inline]
+    pub fn consumed_bits(self) -> u32 {
+        (self.0 >> CONSUMED_SHIFT) & 0x1F
+    }
+
+    /// First packed literal.
+    #[inline]
+    pub fn literal(self) -> u8 {
+        self.0 as u8
+    }
+
+    /// Second packed literal (only for [`FastEntryKind::LiteralPair`]).
+    #[inline]
+    pub fn second_literal(self) -> u8 {
+        (self.0 >> 8) as u8
+    }
+
+    /// Base match length of the packed length symbol.
+    #[inline]
+    pub fn length_base(self) -> u16 {
+        ((self.0 >> BASE_SHIFT) & 0x1FF) as u16
+    }
+
+    /// Number of extra bits the packed length symbol reads after its code.
+    #[inline]
+    pub fn length_extra_bits(self) -> u32 {
+        (self.0 >> EXTRA_SHIFT) & 0x7
+    }
+}
+
+/// A multi-symbol lookup-table decoder for the DEFLATE literal/length
+/// alphabet, built from the same canonical code-length input as
+/// [`crate::HuffmanDecoder`].
+///
+/// The caller drives it through raw [`FastEntry`] values — one
+/// `peek(FAST_TABLE_BITS)` indexes [`MultiSymbolDecoder::entry`], and the
+/// entry says how many bits to consume and what to emit.  The worst-case
+/// buffered-bit requirement of one step is [`FAST_TABLE_BITS`] code bits plus
+/// [`MAX_LENGTH_EXTRA_BITS`] length extra bits; with at least that many bits
+/// buffered a step never reads past end of input.
+#[derive(Debug, Clone)]
+pub struct MultiSymbolDecoder {
+    table: Vec<u32>,
+}
+
+impl MultiSymbolDecoder {
+    /// Builds a decoder from per-symbol code lengths (0 = symbol unused),
+    /// applying the same validity rules as
+    /// [`crate::HuffmanDecoder::from_code_lengths`].
+    pub fn from_code_lengths(lengths: &[u8]) -> Result<Self, HuffmanError> {
+        let max_length = lengths.iter().copied().max().unwrap_or(0) as u32;
+        if max_length == 0 {
+            return Err(HuffmanError::EmptyAlphabet);
+        }
+        if max_length > crate::MAX_CODE_LENGTH {
+            return Err(HuffmanError::LengthTooLarge {
+                length: max_length as u8,
+                maximum: crate::MAX_CODE_LENGTH,
+            });
+        }
+        let used = lengths.iter().filter(|&&l| l > 0).count();
+        match classify_code_lengths(lengths) {
+            CodeCompleteness::Complete => {}
+            CodeCompleteness::Incomplete if used == 1 => {}
+            CodeCompleteness::Incomplete => return Err(HuffmanError::Incomplete),
+            CodeCompleteness::Oversubscribed => return Err(HuffmanError::Oversubscribed),
+            CodeCompleteness::Empty => return Err(HuffmanError::EmptyAlphabet),
+        }
+
+        let table_size = 1usize << FAST_TABLE_BITS;
+        // Stage 1: a plain single-symbol table over FAST_TABLE_BITS bits,
+        // holding `(length << 16) | symbol` (0 = no code of length <=
+        // FAST_TABLE_BITS matches; such indices either start a longer code or
+        // are invalid — both go to the fallback).
+        let mut table = vec![0u32; table_size];
+        for (symbol, &(code, length)) in canonical_codes(lengths).iter().enumerate() {
+            if length == 0 || length as u32 > FAST_TABLE_BITS {
+                continue;
+            }
+            let reversed = reverse_bits(code, length as u32) as usize;
+            let step = 1usize << length;
+            let entry = ((length as u32) << 16) | symbol as u32;
+            let mut index = reversed;
+            while index < table_size {
+                table[index] = entry;
+                index += step;
+            }
+        }
+
+        // Stage 2: pack, in place.  For an index whose first symbol is a
+        // literal, the remaining `FAST_TABLE_BITS - len1` peeked bits are
+        // `index >> len1`; the stage-1 entry there resolves the follow-up
+        // code, and the resolution only depended on *known* bits iff its
+        // length fits in the remaining window.  Descending order keeps the
+        // single allocation sound: `index >> len1` is strictly below `index`
+        // for `len1 >= 1` (and equals it only at index 0, read before its
+        // write), so every second-symbol lookup still sees a stage-1 value.
+        for index in (0..table_size).rev() {
+            let first = table[index];
+            table[index] = if first == 0 {
+                TAG_FALLBACK << KIND_SHIFT
+            } else {
+                let len1 = first >> 16;
+                let sym1 = first & 0xFFFF;
+                match sym1 as u16 {
+                    0..=255 => {
+                        let remaining_bits = FAST_TABLE_BITS - len1;
+                        let second = table[index >> len1];
+                        let len2 = second >> 16;
+                        let sym2 = second & 0xFFFF;
+                        if second != 0 && len2 <= remaining_bits {
+                            if sym2 < 256 {
+                                (TAG_LITERAL_PAIR << KIND_SHIFT)
+                                    | ((len1 + len2) << CONSUMED_SHIFT)
+                                    | (sym2 << 8)
+                                    | sym1
+                            } else if let Some((base, extra)) = length_symbol_info(sym2 as u16) {
+                                (TAG_LITERAL_LENGTH << KIND_SHIFT)
+                                    | ((len1 + len2) << CONSUMED_SHIFT)
+                                    | ((extra as u32) << EXTRA_SHIFT)
+                                    | ((base as u32) << BASE_SHIFT)
+                                    | sym1
+                            } else {
+                                // Second symbol is end-of-block or 286/287:
+                                // emit just the literal and let the next
+                                // lookup (or the fallback) handle it.
+                                (TAG_LITERAL << KIND_SHIFT) | (len1 << CONSUMED_SHIFT) | sym1
+                            }
+                        } else {
+                            (TAG_LITERAL << KIND_SHIFT) | (len1 << CONSUMED_SHIFT) | sym1
+                        }
+                    }
+                    END_OF_BLOCK => (TAG_END_OF_BLOCK << KIND_SHIFT) | (len1 << CONSUMED_SHIFT),
+                    _ => match length_symbol_info(sym1 as u16) {
+                        Some((base, extra)) => {
+                            (TAG_LENGTH << KIND_SHIFT)
+                                | (len1 << CONSUMED_SHIFT)
+                                | ((extra as u32) << EXTRA_SHIFT)
+                                | ((base as u32) << BASE_SHIFT)
+                        }
+                        // Symbols 286/287: defer to the reference decoder so
+                        // its InvalidLengthSymbol error path is reproduced
+                        // exactly.
+                        None => TAG_FALLBACK << KIND_SHIFT,
+                    },
+                }
+            };
+        }
+        Ok(Self { table })
+    }
+
+    /// Resolves `FAST_TABLE_BITS` peeked bits to a packed entry.
+    #[inline]
+    pub fn entry(&self, peeked: u64) -> FastEntry {
+        FastEntry(self.table[peeked as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compute_code_lengths, HuffmanDecoder, HuffmanEncoder, MAX_CODE_LENGTH};
+    use proptest::prelude::*;
+    use rgz_bitio::{BitReader, BitWriter};
+
+    /// Decodes the whole stream through the fast table (falling back to
+    /// `reference` for long codes), returning the symbol sequence.  Length
+    /// symbols are reconstructed from their cached base, which is unique per
+    /// symbol.
+    fn decode_all_fast(
+        fast: &MultiSymbolDecoder,
+        reference: &HuffmanDecoder,
+        data: &[u8],
+        symbol_count: usize,
+    ) -> Vec<u16> {
+        let base_to_symbol = |base: u16| -> u16 {
+            (257..=285)
+                .find(|&s| length_symbol_info(s).unwrap().0 == base)
+                .expect("cached base must belong to a length symbol")
+        };
+        let mut reader = BitReader::new(data);
+        let mut symbols = Vec::new();
+        while symbols.len() < symbol_count {
+            reader.fill_buffer();
+            if reader.cached_bits() < FAST_TABLE_BITS + MAX_LENGTH_EXTRA_BITS {
+                // Tail: the careful reference path.
+                symbols.push(reference.decode(&mut reader).unwrap());
+                continue;
+            }
+            let entry = fast.entry(reader.peek_cached(FAST_TABLE_BITS));
+            match entry.kind() {
+                FastEntryKind::Fallback => {
+                    symbols.push(reference.decode(&mut reader).unwrap());
+                }
+                FastEntryKind::Literal => {
+                    reader.consume_cached(entry.consumed_bits());
+                    symbols.push(entry.literal() as u16);
+                }
+                FastEntryKind::LiteralPair => {
+                    reader.consume_cached(entry.consumed_bits());
+                    symbols.push(entry.literal() as u16);
+                    symbols.push(entry.second_literal() as u16);
+                }
+                FastEntryKind::EndOfBlock => {
+                    reader.consume_cached(entry.consumed_bits());
+                    symbols.push(256);
+                }
+                FastEntryKind::Length => {
+                    reader.consume_cached(entry.consumed_bits());
+                    symbols.push(base_to_symbol(entry.length_base()));
+                }
+                FastEntryKind::LiteralLength => {
+                    reader.consume_cached(entry.consumed_bits());
+                    symbols.push(entry.literal() as u16);
+                    symbols.push(base_to_symbol(entry.length_base()));
+                }
+            }
+        }
+        // A pair entry straddling the requested count decodes one symbol into
+        // the padding; the real hot loop stops at end-of-block instead.
+        symbols.truncate(symbol_count);
+        symbols
+    }
+
+    fn encode(lengths: &[u8], symbols: &[u16]) -> Vec<u8> {
+        let encoder = HuffmanEncoder::from_code_lengths(lengths).unwrap();
+        let mut writer = BitWriter::new();
+        for &symbol in symbols {
+            encoder.encode(&mut writer, symbol).unwrap();
+        }
+        // Padding so the fast path never starves near the true end (the tail
+        // guard is exercised by the shorter proptest streams).
+        for _ in 0..8 {
+            writer.write_bits(0, 8);
+        }
+        writer.finish()
+    }
+
+    #[test]
+    fn length_symbol_info_matches_rfc() {
+        assert_eq!(length_symbol_info(257), Some((3, 0)));
+        assert_eq!(length_symbol_info(265), Some((11, 1)));
+        assert_eq!(length_symbol_info(284), Some((227, 5)));
+        assert_eq!(length_symbol_info(285), Some((258, 0)));
+        assert_eq!(length_symbol_info(256), None);
+        assert_eq!(length_symbol_info(286), None);
+        // Bases are pairwise distinct (the tests rely on invertibility).
+        let bases: Vec<u16> = (257..=285)
+            .map(|s| length_symbol_info(s).unwrap().0)
+            .collect();
+        let mut deduped = bases.clone();
+        deduped.dedup();
+        assert_eq!(bases, deduped);
+    }
+
+    #[test]
+    fn packs_pairs_for_short_codes() {
+        // Four 2-bit literal codes: every entry must pack a pair.
+        let lengths = [2u8, 2, 2, 2];
+        let fast = MultiSymbolDecoder::from_code_lengths(&lengths).unwrap();
+        for peeked in 0..(1u64 << FAST_TABLE_BITS) {
+            let entry = fast.entry(peeked);
+            assert_eq!(entry.kind(), FastEntryKind::LiteralPair, "index {peeked}");
+            assert_eq!(entry.consumed_bits(), 4);
+        }
+    }
+
+    #[test]
+    fn caches_length_base_and_extra_bits() {
+        // Symbols: literal 0 (1 bit), EOB 256 (2 bits), length 265 (2 bits).
+        let mut lengths = vec![0u8; 266];
+        lengths[0] = 1;
+        lengths[256] = 2;
+        lengths[265] = 2;
+        let fast = MultiSymbolDecoder::from_code_lengths(&lengths).unwrap();
+        let codes = canonical_codes(&lengths);
+        let (code, len) = codes[265];
+        let reversed = reverse_bits(code, len as u32) as u64;
+        let entry = fast.entry(reversed);
+        assert_eq!(entry.kind(), FastEntryKind::Length);
+        assert_eq!(entry.length_base(), 11);
+        assert_eq!(entry.length_extra_bits(), 1);
+        assert_eq!(entry.consumed_bits(), 2);
+
+        // Literal followed by the length code packs as LiteralLength.
+        let (lit_code, lit_len) = codes[0];
+        let lit_reversed = reverse_bits(lit_code, lit_len as u32) as u64;
+        let packed_index = lit_reversed | (reversed << lit_len);
+        let entry = fast.entry(packed_index);
+        assert_eq!(entry.kind(), FastEntryKind::LiteralLength);
+        assert_eq!(entry.literal(), 0);
+        assert_eq!(entry.length_base(), 11);
+        assert_eq!(entry.consumed_bits(), 3);
+    }
+
+    #[test]
+    fn long_codes_fall_back() {
+        // A skewed code with lengths beyond FAST_TABLE_BITS.
+        let mut lengths = vec![0u8; 16];
+        lengths[0] = 1;
+        for (i, length) in (2..=15u8).enumerate() {
+            lengths[i + 1] = length;
+        }
+        lengths[15] = 15;
+        assert_eq!(
+            classify_code_lengths(&lengths),
+            CodeCompleteness::Complete,
+            "test needs a complete code"
+        );
+        let fast = MultiSymbolDecoder::from_code_lengths(&lengths).unwrap();
+        let codes = canonical_codes(&lengths);
+        // The 15-bit code's low FAST_TABLE_BITS peeked bits must be fallback.
+        let (code, len) = codes[15];
+        let reversed = reverse_bits(code, len as u32) as u64;
+        let entry = fast.entry(reversed & ((1 << FAST_TABLE_BITS) - 1));
+        assert_eq!(entry.kind(), FastEntryKind::Fallback);
+    }
+
+    #[test]
+    fn rejects_the_same_codes_as_the_reference_decoder() {
+        for lengths in [&[1u8, 1, 1][..], &[2, 2, 2][..], &[0, 0][..]] {
+            assert_eq!(
+                MultiSymbolDecoder::from_code_lengths(lengths).err(),
+                HuffmanDecoder::from_code_lengths(lengths).err(),
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_literal_code_streams_match_reference() {
+        let mut lengths = vec![8u8; 144];
+        lengths.extend(vec![9u8; 112]);
+        lengths.extend(vec![7u8; 24]);
+        lengths.extend(vec![8u8; 8]);
+        let symbols: Vec<u16> = (0..288u16).filter(|&s| s != 286 && s != 287).collect();
+        let data = encode(&lengths, &symbols);
+        let fast = MultiSymbolDecoder::from_code_lengths(&lengths).unwrap();
+        let reference = HuffmanDecoder::from_code_lengths(&lengths).unwrap();
+        assert_eq!(
+            decode_all_fast(&fast, &reference, &data, symbols.len()),
+            symbols
+        );
+    }
+
+    proptest! {
+        /// The differential guarantee the deflate hot loop relies on: on any
+        /// valid code and any symbol stream, the fast table (plus reference
+        /// fallback) yields exactly the reference symbol sequence.
+        #[test]
+        fn fast_and_reference_decode_identical_streams(
+            seed_weights in proptest::collection::vec(1u32..5000, 2..288),
+            picks in proptest::collection::vec(any::<u16>(), 1..300),
+        ) {
+            let lengths = compute_code_lengths(&seed_weights, MAX_CODE_LENGTH).unwrap();
+            prop_assume!(lengths.iter().filter(|&&l| l > 0).count() >= 2);
+            let used: Vec<u16> = lengths.iter().enumerate()
+                .filter(|(_, &l)| l > 0)
+                .map(|(i, _)| i as u16)
+                // 286/287 cannot be encoded by valid streams and 256 ends
+                // blocks; the deflate-level differential tests cover those.
+                .filter(|&s| s != 286 && s != 287)
+                .collect();
+            prop_assume!(!used.is_empty());
+            let symbols: Vec<u16> = picks.iter().map(|&p| used[p as usize % used.len()]).collect();
+            let data = encode(&lengths, &symbols);
+            let fast = MultiSymbolDecoder::from_code_lengths(&lengths).unwrap();
+            let reference = HuffmanDecoder::from_code_lengths(&lengths).unwrap();
+
+            let mut reference_reader = BitReader::new(&data);
+            let expected: Vec<u16> = (0..symbols.len())
+                .map(|_| reference.decode(&mut reference_reader).unwrap())
+                .collect();
+            prop_assert_eq!(&expected, &symbols);
+            prop_assert_eq!(decode_all_fast(&fast, &reference, &data, symbols.len()), symbols);
+        }
+    }
+}

@@ -98,6 +98,66 @@ fn single_bit_corruption_is_always_detected() {
     }
 }
 
+/// The corruption matrix re-run at the DEFLATE layer through the multi-symbol
+/// fast path: for every corpus and injection site, the fast decoder and the
+/// single-symbol reference decoder must stay bit-for-bit identical on the
+/// corrupted member — same bytes and stream position when the flip decodes
+/// (detection then falls to the checksum layer, asserted above), the same
+/// error otherwise.  Note `single_bit_corruption_is_always_detected` already
+/// drives the fast path end to end, since `inflate_hashed` decodes through it.
+#[test]
+fn corruption_matrix_fast_and_reference_decoders_agree() {
+    use rapidgzip_suite::bitio::BitReader;
+    use rapidgzip_suite::deflate::{inflate, inflate_single_symbol};
+    use rapidgzip_suite::gzip::parse_header;
+
+    for (corpus, pristine, _) in corpora() {
+        let (_, members) = decompress_with_info(&pristine).unwrap();
+        for (site, byte) in injection_sites(&members) {
+            for bit in [0u8, 5] {
+                let mut corrupted = pristine.clone();
+                corrupted[byte] ^= 1 << bit;
+                // Only the member containing the flip can decode differently.
+                let member = members
+                    .iter()
+                    .find(|m| {
+                        (m.compressed_start as usize..m.compressed_end as usize).contains(&byte)
+                    })
+                    .expect("injection sites lie within a member");
+                let mut reader = BitReader::new(&corrupted);
+                reader.seek_to_bit(member.compressed_start * 8).unwrap();
+                if parse_header(&mut reader).is_err() {
+                    // A header flip can make the member unparseable; there is
+                    // no DEFLATE stream left to compare.
+                    continue;
+                }
+                let deflate_start = reader.position();
+                let mut fast_reader = reader.clone();
+                let mut fast_out = Vec::new();
+                let fast = inflate(&mut fast_reader, &[], &mut fast_out, u64::MAX);
+                let mut reference_reader = BitReader::new(&corrupted);
+                reference_reader.seek_to_bit(deflate_start).unwrap();
+                let mut reference_out = Vec::new();
+                let reference =
+                    inflate_single_symbol(&mut reference_reader, &[], &mut reference_out, u64::MAX);
+                let context = format!("{corpus}/{site}: bit {bit} of byte {byte}");
+                match (fast, reference) {
+                    (Ok(fast), Ok(reference)) => {
+                        assert_eq!(fast_out, reference_out, "{context}: outputs diverge");
+                        assert_eq!(
+                            fast.end_position, reference.end_position,
+                            "{context}: stream positions diverge"
+                        );
+                    }
+                    (fast, reference) => {
+                        assert_eq!(fast.err(), reference.err(), "{context}: errors diverge")
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn trailer_crc_corruption_names_the_offending_member() {
     for (corpus, pristine, _) in corpora() {
