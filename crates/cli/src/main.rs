@@ -8,9 +8,12 @@
 //!       --chunk-size <KiB>    compressed chunk size in KiB (default: 4096)
 //!       --count-lines         count newlines instead of writing the output
 //!       --export-index <PATH> write the seek-point index to PATH
-//!       --import-index <PATH> load a seek-point index from PATH
-//!       --index-format <FMT>  exported index format: v1 (raw windows) or
-//!                             v2 (compressed windows, default)
+//!       --import-index <PATH> load a seek-point index from PATH; the format
+//!                             (native v1/v2, gztool .gzi, indexed_gzip) is
+//!                             autodetected from the magic bytes
+//!       --index-format <FMT>  exported index format: v1 (raw windows),
+//!                             v2 (compressed windows, default),
+//!                             gztool (.gzi) or indexed-gzip (GZIDX)
 //!       --verify              verify member CRC-32 and ISIZE trailers while
 //!                             decompressing (default)
 //!       --no-verify           skip checksum verification (faster, but silent
@@ -26,7 +29,7 @@ use std::io::Write;
 use std::process::ExitCode;
 
 use rgz_core::{ParallelGzipReader, ParallelGzipReaderOptions, VerificationMode};
-use rgz_index::{GzipIndex, IndexFormat};
+use rgz_interop::AnyIndexFormat;
 use rgz_io::SharedFileReader;
 
 struct Options {
@@ -36,7 +39,7 @@ struct Options {
     count_lines: bool,
     export_index: Option<String>,
     import_index: Option<String>,
-    index_format: IndexFormat,
+    index_format: AnyIndexFormat,
     verification: VerificationMode,
     serial: bool,
     verbose: bool,
@@ -46,7 +49,8 @@ struct Options {
 fn print_usage() {
     eprintln!("usage: rgzip [-d] [-P N] [--chunk-size KiB] [--count-lines]");
     eprintln!("             [--export-index PATH] [--import-index PATH]");
-    eprintln!("             [--index-format v1|v2] [--verify|--no-verify] [--serial] [-v]");
+    eprintln!("             [--index-format v1|v2|gztool|indexed-gzip]");
+    eprintln!("             [--verify|--no-verify] [--serial] [-v]");
     eprintln!("             [-o OUTPUT] FILE");
 }
 
@@ -61,7 +65,7 @@ fn parse_arguments() -> Result<Options, String> {
         count_lines: false,
         export_index: None,
         import_index: None,
-        index_format: IndexFormat::default(),
+        index_format: AnyIndexFormat::default(),
         verification: VerificationMode::default(),
         serial: false,
         verbose: false,
@@ -161,8 +165,28 @@ fn run(options: &Options) -> Result<(), String> {
             Some(path) => {
                 let serialized =
                     std::fs::read(path).map_err(|e| format!("cannot read index {path}: {e}"))?;
-                let index = GzipIndex::import(&serialized).map_err(|e| e.to_string())?;
-                ParallelGzipReader::with_index(shared, reader_options, index)
+                let imported = rgz_interop::import_index(&serialized).map_err(|e| e.to_string())?;
+                if options.verbose || imported.windowless_points_dropped > 0 {
+                    eprintln!(
+                        "rgzip: imported {} index: {} seek points{}{}",
+                        imported.format,
+                        imported.index.block_map.len(),
+                        if imported.windowless_points_dropped > 0 {
+                            format!(
+                                ", dropped {} window-less point(s)",
+                                imported.windowless_points_dropped
+                            )
+                        } else {
+                            String::new()
+                        },
+                        if imported.synthesized_leading_point {
+                            ", synthesized a leading point"
+                        } else {
+                            ""
+                        }
+                    );
+                }
+                ParallelGzipReader::with_index(shared, reader_options, imported.index)
             }
             None => ParallelGzipReader::new(shared, reader_options),
         }
@@ -186,10 +210,10 @@ fn run(options: &Options) -> Result<(), String> {
 
         if let Some(path) = &options.export_index {
             let index = reader.build_full_index().map_err(|e| e.to_string())?;
-            let serialized = index.export_as(options.index_format);
+            let serialized = rgz_interop::export_index(&index, options.index_format);
             std::fs::write(path, &serialized).map_err(|e| e.to_string())?;
             eprintln!(
-                "rgzip: exported {:?} index with {} seek points ({} bytes) to {path}",
+                "rgzip: exported {} index with {} seek points ({} bytes) to {path}",
                 options.index_format,
                 index.block_map.len(),
                 serialized.len()
@@ -206,6 +230,10 @@ fn run(options: &Options) -> Result<(), String> {
                 statistics.speculative_mismatches,
                 statistics.prefetches_issued,
                 statistics.index_chunks
+            );
+            eprintln!(
+                "rgzip: index-aligned prefetch: {} issued, {} hits",
+                statistics.index_prefetches_issued, statistics.index_prefetch_hits
             );
             let windows = reader.window_statistics();
             let index = reader.index();

@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use rgz_deflate::{replace_markers, replace_markers_hashed, resolve_window, WindowUsage};
-use rgz_fetcher::{Cache, TaskHandle, ThreadPool};
+use rgz_fetcher::{Cache, IndexAlignedPlan, TaskHandle, ThreadPool};
 use rgz_index::{GzipIndex, SeekPoint, WINDOW_SIZE};
 use rgz_io::{FileReader, SharedFileReader};
 
@@ -92,6 +92,14 @@ pub struct ReaderStatistics {
     pub prefetches_issued: u64,
     /// Chunks decoded directly from the index fast path.
     pub index_chunks: u64,
+    /// Index-aligned prefetch tasks submitted once a seek-point table was
+    /// available (imported or built by the first pass).  Unlike speculative
+    /// prefetches these decode exact chunks, so none of them is wasted on a
+    /// misguessed boundary.
+    pub index_prefetches_issued: u64,
+    /// Reads that found their chunk already decoded (or decoding) by an
+    /// index-aligned prefetch.
+    pub index_prefetch_hits: u64,
 }
 
 /// State of the sequential first pass.
@@ -127,6 +135,15 @@ struct ReaderState {
     speculative_pending: HashMap<usize, TaskHandle<Result<Option<SpeculativeChunk>, CoreError>>>,
     /// Guess indexes that have already been dispatched (or completed).
     speculative_issued: std::collections::HashSet<usize>,
+    /// Prefetch plan aligned to the seek-point table; built lazily once the
+    /// sequential pass is finished (or an index was imported).
+    index_plan: Option<Arc<IndexAlignedPlan>>,
+    /// Keys in `chunk_data` that were produced by index-aligned prefetching
+    /// and have not been consumed yet.
+    index_prefetched: std::collections::HashSet<u64>,
+    /// Chunk index the last index-aligned prefetch ran for; consecutive
+    /// reads inside one chunk skip the whole prefetch pipeline.
+    last_prefetch_chunk: Option<usize>,
     statistics: ReaderStatistics,
 }
 
@@ -183,6 +200,9 @@ impl ParallelGzipReader {
                 speculative_ready: HashMap::new(),
                 speculative_pending: HashMap::new(),
                 speculative_issued: std::collections::HashSet::new(),
+                index_plan: None,
+                index_prefetched: std::collections::HashSet::new(),
+                last_prefetch_chunk: None,
                 statistics: ReaderStatistics::default(),
             }),
             reader,
@@ -224,8 +244,14 @@ impl ParallelGzipReader {
             state.index = index;
             state.index.window_map.set_pool(this.pool.clone());
             if state.index.uncompressed_size == 0 {
-                state.index.uncompressed_size = state.index.block_map.uncompressed_size();
+                state.index.uncompressed_size = state.index.effective_uncompressed_size();
                 state.pass.next_uncompressed_offset = state.index.uncompressed_size;
+            }
+            // Some foreign formats (gztool) record no compressed size, so
+            // an imported index may carry 0; re-exports must still write
+            // the real file size.
+            if state.index.compressed_size == 0 {
+                state.index.compressed_size = this.reader.size();
             }
         }
         Ok(this)
@@ -576,6 +602,145 @@ impl ParallelGzipReader {
         }
     }
 
+    // --- index-aligned prefetching ---------------------------------------
+
+    /// Prefetches the chunks the index-aligned plan predicts will be read
+    /// next, decoding them on the pool with their stored windows.
+    ///
+    /// Active only once a complete seek-point table exists — imported from
+    /// any supported index format or built by the sequential pass.  Unlike
+    /// the speculative prefetcher this decodes *exact* chunks: every task
+    /// starts at a real seek point and stops at the next one, so no decode
+    /// is wasted on a misguessed boundary.
+    fn issue_index_prefetches(&self, position: u64) {
+        let degree = self.options.effective_prefetch_degree();
+        let mut state = self.state.lock();
+        if !state.pass.finished || state.index.block_map.len() < 2 {
+            return;
+        }
+        let plan = match &state.index_plan {
+            Some(plan) => plan.clone(),
+            None => {
+                let boundaries: Vec<u64> = state
+                    .index
+                    .block_map
+                    .points()
+                    .iter()
+                    .map(|p| p.uncompressed_offset)
+                    .collect();
+                let end = state.index.block_map.uncompressed_size();
+                let plan = Arc::new(IndexAlignedPlan::new(boundaries, end));
+                state.index_plan = Some(plan.clone());
+                plan
+            }
+        };
+        // Consecutive reads within one chunk cannot change the prediction;
+        // skip the strategy update and backlog scan until the read position
+        // crosses into the next chunk (this also keeps many small reads
+        // from masquerading as a long sequential run to the strategy).
+        let chunk = plan.chunk_of(position);
+        if chunk.is_none() || chunk == state.last_prefetch_chunk {
+            return;
+        }
+        state.last_prefetch_chunk = chunk;
+        if plan.record_access(position).is_none() {
+            return;
+        }
+        let targets = plan.prefetch(degree);
+
+        // Cap the decoded-but-unconsumed backlog; evict finished prefetches
+        // the plan no longer predicts (random access moved elsewhere).
+        let outstanding: Vec<u64> = state
+            .index_prefetched
+            .iter()
+            .filter(|key| state.chunk_data.contains_key(key))
+            .copied()
+            .collect();
+        if outstanding.len() >= degree.saturating_mul(2) {
+            let predicted: std::collections::HashSet<u64> = targets
+                .iter()
+                .map(|&chunk| state.index.block_map.points()[chunk].compressed_bit_offset)
+                .collect();
+            for key in outstanding {
+                if predicted.contains(&key) {
+                    continue;
+                }
+                let finished = match state.chunk_data.get(&key) {
+                    Some(ChunkData::Ready(_)) => true,
+                    Some(ChunkData::Pending(handle)) => handle.is_finished(),
+                    None => true,
+                };
+                if finished {
+                    state.chunk_data.remove(&key);
+                    state.index_prefetched.remove(&key);
+                }
+            }
+            if state
+                .index_prefetched
+                .iter()
+                .filter(|key| state.chunk_data.contains_key(key))
+                .count()
+                >= degree.saturating_mul(2)
+            {
+                return;
+            }
+        }
+
+        // Look up window *records* outside the state lock, before
+        // submitting: a task must never capture the window map (it
+        // references the thread pool, and a worker dropping the pool's
+        // last handle would try to join itself), but an individual
+        // `CompressedWindow` record holds no pool reference, so the 32 KiB
+        // inflation itself can run on the worker instead of delaying the
+        // read this prefetch is meant to hide.
+        let window_map = state.index.window_map.clone();
+        let plans: Vec<(SeekPoint, u64)> = targets
+            .into_iter()
+            .filter_map(|chunk| {
+                let point = state.index.block_map.points()[chunk].clone();
+                let key = point.compressed_bit_offset;
+                if state.chunk_data.contains_key(&key) || state.resolved_cache.contains(&key) {
+                    return None;
+                }
+                let stop_bit = state
+                    .index
+                    .block_map
+                    .points()
+                    .get(chunk + 1)
+                    .map(|next| next.compressed_bit_offset)
+                    .unwrap_or(u64::MAX);
+                Some((point, stop_bit))
+            })
+            .collect();
+        drop(state);
+
+        for (point, stop_bit) in plans {
+            let key = point.compressed_bit_offset;
+            let record = window_map.get_compressed(key);
+            let reader = self.reader.clone();
+            let chunk_size = self.options.chunk_size;
+            let expected_length = point.uncompressed_size;
+            let handle = self.pool.submit(move || {
+                let window = match &record {
+                    Some(record) => record.decompress().map_err(CoreError::Window)?,
+                    None => Vec::new(),
+                };
+                let result =
+                    decode_chunk_at(&reader, key, stop_bit, &window, key == 0, chunk_size, false)?;
+                if result.data.len() as u64 != expected_length {
+                    return Err(CoreError::IndexMismatch {
+                        compressed_bit_offset: key,
+                    });
+                }
+                Ok(result.data)
+            });
+            let mut state = self.state.lock();
+            state.chunk_data.insert(key, ChunkData::Pending(handle));
+            state.index_prefetched.insert(key);
+            state.statistics.index_prefetches_issued += 1;
+        }
+    }
+
     // --- serving reads ----------------------------------------------------
 
     /// Returns the resolved data of the chunk described by `point`.
@@ -586,6 +751,11 @@ impl ParallelGzipReader {
             let mut state = self.state.lock();
             if let Some(cached) = state.resolved_cache.get(&key) {
                 return Ok(cached);
+            }
+            let prefetched = state.index_prefetched.remove(&key);
+            if prefetched {
+                state.statistics.index_prefetch_hits += 1;
+                state.statistics.index_chunks += 1;
             }
             match state.chunk_data.remove(&key) {
                 Some(ChunkData::Ready(data)) => {
@@ -616,12 +786,11 @@ impl ParallelGzipReader {
         let window = window.map_err(CoreError::Window)?.unwrap_or_default();
         let stop_bit = {
             let state = self.state.lock();
-            state
-                .index
-                .block_map
-                .points()
-                .iter()
-                .find(|p| p.compressed_bit_offset > key)
+            let points = state.index.block_map.points();
+            // Points are sorted by compressed offset (enforced on import).
+            let position = points.partition_point(|p| p.compressed_bit_offset <= key);
+            points
+                .get(position)
                 .map(|p| p.compressed_bit_offset)
                 .unwrap_or(u64::MAX)
         };
@@ -659,6 +828,9 @@ impl ParallelGzipReader {
             if let Some(point) = covering_point {
                 let end = point.uncompressed_offset + point.uncompressed_size;
                 if self.position < end {
+                    // With a complete seek-point table, keep the pool busy
+                    // decoding the exact chunks predicted to be read next.
+                    self.issue_index_prefetches(self.position);
                     let data = self.chunk_bytes(&point)?;
                     let chunk_offset = (self.position - point.uncompressed_offset) as usize;
                     let available = data.len() - chunk_offset;
@@ -925,6 +1097,75 @@ mod tests {
             }
         }
         assert!(third.window_statistics().hot_cache.hits > 0);
+    }
+
+    #[test]
+    fn imported_index_reads_are_prefetched_chunk_aligned() {
+        let data = fastq_records(30_000, 55);
+        let compressed = GzipWriter::default().compress(&data);
+        let mut first_pass =
+            ParallelGzipReader::from_bytes(compressed.clone(), options(4, 64 * 1024)).unwrap();
+        let index = first_pass.build_full_index().unwrap();
+        assert!(index.block_map.len() > 4);
+
+        let imported = GzipIndex::import(&index.export()).unwrap();
+        let mut reader = ParallelGzipReader::with_index(
+            SharedFileReader::from_bytes(compressed),
+            options(4, 64 * 1024),
+            imported,
+        )
+        .unwrap();
+        assert_eq!(reader.decompress_all().unwrap(), data);
+        let statistics = reader.statistics();
+        assert!(
+            statistics.index_prefetches_issued > 0,
+            "sequential read through an index must prefetch: {statistics:?}"
+        );
+        assert!(
+            statistics.index_prefetch_hits > 0,
+            "prefetched chunks were never consumed: {statistics:?}"
+        );
+        // Index-aligned prefetching replaces speculation entirely.
+        assert_eq!(statistics.prefetches_issued, 0);
+        assert_eq!(statistics.speculative_chunks_used, 0);
+    }
+
+    #[test]
+    fn post_pass_random_access_uses_index_prefetching() {
+        let data = silesia_like(2 * 1024 * 1024, 56);
+        let compressed = GzipWriter::default().compress(&data);
+        // A single-slot resolved cache: after the full pass nothing but the
+        // last chunk stays resident, so the sweep below must re-decode.
+        let mut reader = ParallelGzipReader::from_bytes(
+            compressed,
+            ParallelGzipReaderOptions {
+                parallelization: 4,
+                chunk_size: 128 * 1024,
+                resolved_cache_chunks: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Finish the sequential pass and drain its resident chunk data, so
+        // later reads must re-decode through the index.
+        reader.build_full_index().unwrap();
+        assert_eq!(reader.decompress_all().unwrap(), data);
+
+        // A forward sequential sweep over the head of the file — evicted
+        // from the bounded resolved cache by the full read above — makes
+        // the plan see consecutive chunk accesses and prefetch ahead.
+        let mut buffer = vec![0u8; 64 * 1024];
+        reader.seek(SeekFrom::Start(0)).unwrap();
+        for step in 0..10 {
+            reader.read_exact(&mut buffer).unwrap();
+            let start = step * buffer.len();
+            assert_eq!(&buffer[..], &data[start..start + buffer.len()]);
+        }
+        let statistics = reader.statistics();
+        assert!(
+            statistics.index_prefetches_issued > 0,
+            "post-pass reads must use the index-aligned plan: {statistics:?}"
+        );
     }
 
     #[test]

@@ -13,11 +13,13 @@
 
 pub mod cache;
 pub mod chunk_fetcher;
+pub mod plan;
 pub mod strategy;
 pub mod thread_pool;
 
 pub use cache::{Cache, CacheStatistics, CacheStrategy, LeastRecentlyUsed};
 pub use chunk_fetcher::{ChunkFetcher, ChunkFetcherConfig, FetchStatistics};
+pub use plan::IndexAlignedPlan;
 pub use strategy::{FetchNextAdaptive, FetchNextFixed, FetchNextMultiStream, FetchingStrategy};
 pub use thread_pool::{TaskHandle, ThreadPool};
 

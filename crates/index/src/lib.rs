@@ -108,6 +108,23 @@ impl BlockMap {
         self.points.push(point);
     }
 
+    /// Appends a seek point read from an *untrusted* file, turning the
+    /// ordering violation [`BlockMap::push`] would panic on into a typed
+    /// [`IndexError::NonMonotonic`].
+    pub fn checked_push(&mut self, point: SeekPoint) -> Result<(), IndexError> {
+        if let Some(last) = self.points.last() {
+            if point.uncompressed_offset < last.uncompressed_offset
+                || point.compressed_bit_offset < last.compressed_bit_offset
+            {
+                return Err(IndexError::NonMonotonic {
+                    point: self.points.len() as u64,
+                });
+            }
+        }
+        self.points.push(point);
+        Ok(())
+    }
+
     /// Finds the last seek point whose uncompressed offset is `<= offset`.
     pub fn find(&self, offset: u64) -> Option<&SeekPoint> {
         if self.points.is_empty() {
@@ -256,12 +273,26 @@ pub enum IndexError {
     /// A v2 window record is structurally invalid (unknown flags,
     /// inconsistent lengths).
     InvalidWindow,
+    /// The header declares more seek points than the file could possibly
+    /// hold — honouring the count would mean a huge allocation.
+    PointCountTooLarge {
+        /// The declared point count.
+        count: u64,
+    },
+    /// A seek point's offsets go backwards relative to its predecessor.
+    NonMonotonic {
+        /// Zero-based position of the offending point.
+        point: u64,
+    },
+    /// A seek-point field is structurally invalid (e.g. a sub-byte bit count
+    /// outside `0..=7`, or a bit offset before the start of the file).
+    InvalidPoint(&'static str),
 }
 
 impl std::fmt::Display for IndexError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            IndexError::BadMagic => write!(f, "not a rapidgzip-rs index file"),
+            IndexError::BadMagic => write!(f, "not a recognised index file"),
             IndexError::UnsupportedVersion(v) => write!(f, "unsupported index version {v}"),
             IndexError::Truncated => write!(f, "truncated index data"),
             IndexError::ChecksumMismatch => write!(f, "index checksum mismatch"),
@@ -270,11 +301,73 @@ impl std::fmt::Display for IndexError {
                 "window length {length} exceeds the {WINDOW_SIZE} byte bound"
             ),
             IndexError::InvalidWindow => write!(f, "structurally invalid window record"),
+            IndexError::PointCountTooLarge { count } => write!(
+                f,
+                "declared seek-point count {count} exceeds what the file can hold"
+            ),
+            IndexError::NonMonotonic { point } => {
+                write!(f, "seek point {point} goes backwards")
+            }
+            IndexError::InvalidPoint(reason) => write!(f, "invalid seek point: {reason}"),
         }
     }
 }
 
 impl std::error::Error for IndexError {}
+
+/// The index format a byte buffer appears to hold, sniffed from its magic
+/// bytes only (no parsing, no allocation).
+///
+/// The foreign formats are parsed and written by the `rgz_interop` crate;
+/// this enum lives here so anything holding a `GzipIndex` can dispatch on a
+/// file's format without depending on the converters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectedFormat {
+    /// The native `RGZIDX01` container (v1 or v2).
+    Rgz,
+    /// A gztool `.gzi` index (eight zero bytes, then `gzipindx`).
+    Gztool,
+    /// A gztool v1 `.gzi` index with line-counting data (`gzipindX`).
+    GztoolWithLines,
+    /// An indexed_gzip index file (`GZIDX`).
+    IndexedGzip,
+    /// None of the known magics matched.
+    Unknown,
+}
+
+impl std::fmt::Display for DetectedFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DetectedFormat::Rgz => write!(f, "rgz (RGZIDX01)"),
+            DetectedFormat::Gztool => write!(f, "gztool (.gzi)"),
+            DetectedFormat::GztoolWithLines => write!(f, "gztool v1 (.gzi with line info)"),
+            DetectedFormat::IndexedGzip => write!(f, "indexed_gzip (GZIDX)"),
+            DetectedFormat::Unknown => write!(f, "unknown"),
+        }
+    }
+}
+
+/// Sniffs the on-disk index format from the magic bytes at the start of
+/// `data`.
+pub fn detect_format(data: &[u8]) -> DetectedFormat {
+    if data.starts_with(MAGIC) {
+        return DetectedFormat::Rgz;
+    }
+    if data.starts_with(b"GZIDX") {
+        return DetectedFormat::IndexedGzip;
+    }
+    // gztool prefixes its magic with eight zero bytes so that `.gzi` files
+    // made by bgzip (which start with a block count) are never confused with
+    // its own.
+    if data.len() >= 16 && data[..8].iter().all(|&b| b == 0) {
+        match &data[8..16] {
+            b"gzipindx" => return DetectedFormat::Gztool,
+            b"gzipindX" => return DetectedFormat::GztoolWithLines,
+            _ => {}
+        }
+    }
+    DetectedFormat::Unknown
+}
 
 /// Serialized index format version.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -319,6 +412,17 @@ impl GzipIndex {
         Self::default()
     }
 
+    /// The total decompressed size: the recorded stream total when known,
+    /// otherwise the extent covered by the seek points.  Every serialiser
+    /// writes this into its header/trailer size field.
+    pub fn effective_uncompressed_size(&self) -> u64 {
+        if self.uncompressed_size != 0 {
+            self.uncompressed_size
+        } else {
+            self.block_map.uncompressed_size()
+        }
+    }
+
     /// Adds a seek point together with its full window.
     pub fn add_seek_point(&mut self, point: SeekPoint, window: &[u8]) {
         self.window_map.insert(point.compressed_bit_offset, window);
@@ -331,6 +435,22 @@ impl GzipIndex {
         self.window_map
             .insert_sparse(point.compressed_bit_offset, window, usage);
         self.block_map.push(point);
+    }
+
+    /// Adds a seek point read from an *untrusted* index file: ordering is
+    /// checked (never panics) and the window record, if any, is stored as-is.
+    /// A `None` record leaves the point window-less — valid only for points
+    /// at the start of a stream, where decoding needs no history.
+    pub fn add_imported_point(
+        &mut self,
+        point: SeekPoint,
+        record: Option<CompressedWindow>,
+    ) -> Result<(), IndexError> {
+        if let Some(record) = record {
+            self.window_map
+                .insert_compressed(point.compressed_bit_offset, record);
+        }
+        self.block_map.checked_push(point)
     }
 
     /// Serialises the index in the default (v2, compressed-window) format.
@@ -440,6 +560,15 @@ impl GzipIndex {
         let compressed_size = read_u64(&mut cursor)?;
         let uncompressed_size = read_u64(&mut cursor)?;
         let point_count = read_u64(&mut cursor)? as usize;
+        // A point record is at least 28 (v1) / 41 (v2) bytes; a count beyond
+        // what the remaining bytes can hold is corrupt or hostile.
+        let minimum_record = if version == 1 { 28 } else { 41 };
+        let remaining = data.len().saturating_sub(cursor + 4);
+        if point_count > remaining / minimum_record {
+            return Err(IndexError::PointCountTooLarge {
+                count: point_count as u64,
+            });
+        }
 
         let mut index = GzipIndex {
             compressed_size,
@@ -473,7 +602,7 @@ impl GzipIndex {
                     point.compressed_bit_offset,
                     CompressedWindow::from_window_verbatim(window),
                 );
-                index.block_map.push(point);
+                index.block_map.checked_push(point)?;
             } else {
                 let record_flags = read_u8(&mut cursor)?;
                 let original_length = read_u32(&mut cursor)?;
@@ -514,7 +643,7 @@ impl GzipIndex {
                 index
                     .window_map
                     .insert_compressed(point.compressed_bit_offset, record);
-                index.block_map.push(point);
+                index.block_map.checked_push(point)?;
             }
         }
         Ok(index)

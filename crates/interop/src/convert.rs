@@ -1,0 +1,173 @@
+//! The format-independent half of every importer: raw seek points in,
+//! [`GzipIndex`] out.
+//!
+//! Both foreign formats describe a seek point as *(compressed byte offset,
+//! sub-byte bit count, uncompressed offset, optional window)* and store
+//! neither per-point spans nor (in gztool's case) a point at uncompressed
+//! offset zero.  This module normalises all of that into the native model:
+//!
+//! * bit offsets become absolute (`in * 8 - bits`);
+//! * per-point `uncompressed_size` is derived from successive offsets plus
+//!   the file's total uncompressed size;
+//! * interior points without a window are **dropped** (decoding cannot
+//!   resume there; reads fall back to the preceding windowed point), and the
+//!   drop is reported;
+//! * a synthetic window-less point at offset zero is prepended when the
+//!   foreign index starts later, so the head of the file stays readable.
+
+use rgz_index::{DetectedFormat, GzipIndex, IndexError, SeekPoint};
+use rgz_window::CompressedWindow;
+
+/// A seek point as parsed from a foreign file, before normalisation.
+#[derive(Debug)]
+pub(crate) struct RawSeekPoint {
+    /// Absolute bit offset of the DEFLATE block the point resumes at.
+    pub compressed_bit_offset: u64,
+    /// Uncompressed offset of the point.
+    pub uncompressed_offset: u64,
+    /// The stored window, already validated; `None` for window-less points.
+    pub window: Option<CompressedWindow>,
+}
+
+/// Converts a foreign *(byte offset, bits)* pair into an absolute bit offset.
+///
+/// Both gztool and indexed_gzip follow zran's convention: `offset` is the
+/// first full byte of the block, and a non-zero `bits` says the block starts
+/// `bits` bits *before* that byte (inside `offset - 1`).
+pub(crate) fn bit_offset_from_parts(offset: u64, bits: u32) -> Result<u64, IndexError> {
+    if bits > 7 {
+        return Err(IndexError::InvalidPoint("bit count outside 0..=7"));
+    }
+    offset
+        .checked_mul(8)
+        .and_then(|total| total.checked_sub(u64::from(bits)))
+        .ok_or(IndexError::InvalidPoint(
+            "bit offset outside the addressable range",
+        ))
+}
+
+/// Splits an absolute bit offset back into zran's *(byte offset, bits)*.
+pub(crate) fn bit_offset_to_parts(bit_offset: u64) -> (u64, u32) {
+    let bits = ((8 - (bit_offset % 8)) % 8) as u32;
+    ((bit_offset + u64::from(bits)) / 8, bits)
+}
+
+/// An index imported from a foreign (or native) on-disk format, together
+/// with what the conversion had to do to it.
+#[derive(Debug)]
+pub struct ImportedIndex {
+    /// The converted index, ready for `ParallelGzipReader::with_index`.
+    pub index: GzipIndex,
+    /// Format the bytes were recognised as.
+    pub format: DetectedFormat,
+    /// Interior seek points discarded because the file stored no window for
+    /// them (decoding cannot resume at such a point; reads covering their
+    /// span decode forward from the preceding windowed point instead).
+    pub windowless_points_dropped: usize,
+    /// Whether a synthetic point at offset zero was prepended because the
+    /// foreign index only starts deeper into the stream.
+    pub synthesized_leading_point: bool,
+}
+
+/// Builds a [`GzipIndex`] out of parsed foreign points and stream totals.
+pub(crate) fn assemble(
+    points: Vec<RawSeekPoint>,
+    compressed_size: u64,
+    uncompressed_size: u64,
+    format: DetectedFormat,
+) -> Result<ImportedIndex, IndexError> {
+    let mut kept: Vec<RawSeekPoint> = Vec::with_capacity(points.len());
+    let mut dropped = 0usize;
+    for point in points {
+        // A window-less point can only seed decoding at the very start of
+        // the stream (bit offset 0 parses the gzip header; uncompressed
+        // offset 0 needs no history).
+        let resumable = point.window.is_some()
+            || point.uncompressed_offset == 0
+            || point.compressed_bit_offset == 0;
+        if resumable {
+            kept.push(point);
+        } else {
+            dropped += 1;
+        }
+    }
+
+    let mut index = GzipIndex {
+        compressed_size,
+        uncompressed_size,
+        ..Default::default()
+    };
+    // Dropping *every* point must not produce an index that silently reads
+    // as an empty stream: with a known total a single synthetic point spans
+    // the whole file (reads decode from offset zero); without one the
+    // index carries no usable information at all, so refuse it.
+    if kept.is_empty() && dropped > 0 && uncompressed_size == 0 {
+        return Err(IndexError::InvalidPoint(
+            "every seek point is window-less and the total size is unknown",
+        ));
+    }
+    let synthesized = match kept.first() {
+        None if uncompressed_size > 0 => {
+            index.add_imported_point(
+                SeekPoint {
+                    compressed_bit_offset: 0,
+                    uncompressed_offset: 0,
+                    uncompressed_size,
+                },
+                Some(CompressedWindow::from_window_verbatim(&[])),
+            )?;
+            true
+        }
+        Some(first) if first.uncompressed_offset > 0 => {
+            index.add_imported_point(
+                SeekPoint {
+                    compressed_bit_offset: 0,
+                    uncompressed_offset: 0,
+                    uncompressed_size: first.uncompressed_offset,
+                },
+                Some(CompressedWindow::from_window_verbatim(&[])),
+            )?;
+            true
+        }
+        _ => false,
+    };
+    // Per-point spans come from the *next* point's offset; the last span
+    // runs to the end of the stream (an unknown total of 0 leaves it empty
+    // rather than inventing one).
+    let ends: Vec<u64> = (0..kept.len())
+        .map(|position| match kept.get(position + 1) {
+            Some(next) => next.uncompressed_offset,
+            None => uncompressed_size.max(kept[position].uncompressed_offset),
+        })
+        .collect();
+    for (position, (point, end)) in kept.into_iter().zip(ends).enumerate() {
+        if end < point.uncompressed_offset {
+            return Err(IndexError::NonMonotonic {
+                point: position as u64,
+            });
+        }
+        // Kept window-less points (starts of streams) get an explicit empty
+        // record so imported indexes look exactly like natively built ones,
+        // which store a (possibly empty) record for every seek point.
+        let record = point
+            .window
+            .unwrap_or_else(|| CompressedWindow::from_window_verbatim(&[]));
+        index.add_imported_point(
+            SeekPoint {
+                compressed_bit_offset: point.compressed_bit_offset,
+                uncompressed_offset: point.uncompressed_offset,
+                uncompressed_size: end - point.uncompressed_offset,
+            },
+            Some(record),
+        )?;
+    }
+    if index.uncompressed_size == 0 {
+        index.uncompressed_size = index.effective_uncompressed_size();
+    }
+    Ok(ImportedIndex {
+        index,
+        format,
+        windowless_points_dropped: dropped,
+        synthesized_leading_point: synthesized,
+    })
+}

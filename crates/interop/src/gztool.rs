@@ -1,0 +1,175 @@
+//! The gztool `.gzi` on-disk index format (v0, magic `gzipindx`).
+//!
+//! gztool (<https://github.com/circulosmeos/gztool>) extends zlib's `zran.c`
+//! random-access demo with a persistent index.  Its v0 container, as
+//! implemented here:
+//!
+//! ```text
+//! offset  size  field                     encoding
+//! 0       8     0x00 * 8                  distinguishes from bgzip .gzi
+//! 8       8     magic "gzipindx"          ("gzipindX" = v1, with line info)
+//! 16      8     planned point count       u64, big-endian
+//! 24      8     stored point count        u64, big-endian
+//! 32      ...   point records
+//! end-8   8     uncompressed file size    u64, big-endian
+//! ```
+//!
+//! Each point record is:
+//!
+//! ```text
+//! out          u64 BE   uncompressed offset of the point
+//! in           u64 BE   compressed offset of the first full byte
+//! bits         u32 BE   0..=7; >0 means the block starts `bits` bits
+//!                       before `in * 8` (zran convention)
+//! window_size  u32 BE   stored window length; 0 = no window
+//! window       bytes    zlib stream of the 32 KiB window
+//! ```
+//!
+//! All integers are big-endian (gztool serialises in network order for
+//! portability).  Windows are zlib-compressed; a `window_size` of zero marks
+//! a window-less point.  v1 files (`gzipindX`) append line-counting data this
+//! reproduction does not model; they are rejected with
+//! [`IndexError::UnsupportedVersion`] rather than misparsed.
+
+use rgz_checksum::crc32;
+use rgz_index::{DetectedFormat, GzipIndex, IndexError, WINDOW_SIZE};
+use rgz_window::{flags, CompressedWindow};
+
+use crate::convert::{assemble, bit_offset_from_parts, bit_offset_to_parts, RawSeekPoint};
+use crate::zlib;
+use crate::ImportedIndex;
+
+const ZERO_PREFIX: usize = 8;
+const MAGIC_V0: &[u8; 8] = b"gzipindx";
+const HEADER_LEN: usize = ZERO_PREFIX + MAGIC_V0.len() + 8 + 8;
+/// Fixed part of a point record (out + in + bits + window_size).
+const POINT_FIXED_LEN: usize = 8 + 8 + 4 + 4;
+/// A zlib stream for a 32 KiB window is at most the window plus stored-block
+/// framing (5 bytes per 16 KiB block), the 2-byte header and the 4-byte
+/// Adler-32; anything beyond this bound is corrupt or hostile.
+const MAX_STORED_WINDOW: usize = WINDOW_SIZE + 1024;
+
+fn read_u64_be(data: &[u8], cursor: &mut usize) -> Result<u64, IndexError> {
+    let bytes = data
+        .get(*cursor..*cursor + 8)
+        .ok_or(IndexError::Truncated)?;
+    *cursor += 8;
+    Ok(u64::from_be_bytes(bytes.try_into().unwrap()))
+}
+
+fn read_u32_be(data: &[u8], cursor: &mut usize) -> Result<u32, IndexError> {
+    let bytes = data
+        .get(*cursor..*cursor + 4)
+        .ok_or(IndexError::Truncated)?;
+    *cursor += 4;
+    Ok(u32::from_be_bytes(bytes.try_into().unwrap()))
+}
+
+/// Parses a gztool `.gzi` file into a native index.
+pub fn import(data: &[u8]) -> Result<ImportedIndex, IndexError> {
+    match rgz_index::detect_format(data) {
+        DetectedFormat::Gztool => {}
+        DetectedFormat::GztoolWithLines => return Err(IndexError::UnsupportedVersion(1)),
+        _ => return Err(IndexError::BadMagic),
+    }
+    let mut cursor = ZERO_PREFIX + MAGIC_V0.len();
+    let _planned = read_u64_be(data, &mut cursor)?;
+    let have = read_u64_be(data, &mut cursor)?;
+    // Bound the declared count by what the remaining bytes could possibly
+    // hold *before* any allocation: each point is at least POINT_FIXED_LEN
+    // bytes, and the trailing file size takes 8 more.
+    let remaining = data.len().saturating_sub(HEADER_LEN + 8);
+    if have > (remaining / POINT_FIXED_LEN) as u64 {
+        return Err(IndexError::PointCountTooLarge { count: have });
+    }
+
+    let mut points = Vec::with_capacity(have as usize);
+    for _ in 0..have {
+        let out = read_u64_be(data, &mut cursor)?;
+        let within = read_u64_be(data, &mut cursor)?;
+        let bits = read_u32_be(data, &mut cursor)?;
+        let window_size = read_u32_be(data, &mut cursor)? as usize;
+        if window_size > MAX_STORED_WINDOW {
+            return Err(IndexError::WindowTooLarge {
+                length: window_size as u64,
+            });
+        }
+        let compressed_bit_offset = bit_offset_from_parts(within, bits)?;
+        let stored = data
+            .get(cursor..cursor + window_size)
+            .ok_or(IndexError::Truncated)?;
+        cursor += window_size;
+        let window = if window_size == 0 {
+            None
+        } else {
+            Some(decode_window(stored)?)
+        };
+        points.push(RawSeekPoint {
+            compressed_bit_offset,
+            uncompressed_offset: out,
+            window,
+        });
+    }
+    let uncompressed_size = read_u64_be(data, &mut cursor)?;
+    // gztool does not record the compressed size; leave it unknown (0).
+    assemble(points, 0, uncompressed_size, DetectedFormat::Gztool)
+}
+
+/// Decodes one stored window, keeping the raw-DEFLATE body as the record's
+/// compressed payload whenever it fits the native bound, so the import does
+/// not have to recompress anything.
+fn decode_window(stored: &[u8]) -> Result<CompressedWindow, IndexError> {
+    let window = zlib::decompress(stored, WINDOW_SIZE).map_err(|error| match error {
+        zlib::ZlibError::Truncated => IndexError::Truncated,
+        zlib::ZlibError::ChecksumMismatch { .. } => IndexError::ChecksumMismatch,
+        _ => IndexError::InvalidWindow,
+    })?;
+    let body = &stored[2..stored.len() - 4];
+    if body.len() < window.len() && body.len() <= WINDOW_SIZE {
+        Ok(CompressedWindow {
+            flags: flags::COMPRESSED,
+            original_length: window.len() as u32,
+            window_length: window.len() as u32,
+            checksum: crc32(&window),
+            payload: body.to_vec(),
+        })
+    } else {
+        // An incompressible window: its zlib body may exceed the native
+        // payload bound, so store the plain bytes instead.
+        Ok(CompressedWindow::from_window_verbatim(&window))
+    }
+}
+
+/// Serialises a native index as a gztool v0 `.gzi` file.
+///
+/// Sparse (span-reduced) windows are written zero-padded back to their full
+/// length: that decodes identically for every span the index describes.
+/// Window-less points keep `window_size = 0`, which gztool understands.
+pub fn export(index: &GzipIndex) -> Vec<u8> {
+    let points = index.block_map.points();
+    let mut out = Vec::new();
+    out.extend_from_slice(&[0u8; ZERO_PREFIX]);
+    out.extend_from_slice(MAGIC_V0);
+    out.extend_from_slice(&(points.len() as u64).to_be_bytes());
+    out.extend_from_slice(&(points.len() as u64).to_be_bytes());
+    for point in points {
+        let (within, bits) = bit_offset_to_parts(point.compressed_bit_offset);
+        out.extend_from_slice(&point.uncompressed_offset.to_be_bytes());
+        out.extend_from_slice(&within.to_be_bytes());
+        out.extend_from_slice(&bits.to_be_bytes());
+        let window = index
+            .window_map
+            .get_compressed(point.compressed_bit_offset)
+            .and_then(|record| record.decompress_padded().ok())
+            .unwrap_or_default();
+        if window.is_empty() {
+            out.extend_from_slice(&0u32.to_be_bytes());
+        } else {
+            let stored = zlib::compress(&window);
+            out.extend_from_slice(&(stored.len() as u32).to_be_bytes());
+            out.extend_from_slice(&stored);
+        }
+    }
+    out.extend_from_slice(&index.effective_uncompressed_size().to_be_bytes());
+    out
+}

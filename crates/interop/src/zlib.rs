@@ -1,0 +1,172 @@
+//! A minimal zlib (RFC 1950) wrapper around the workspace's raw-DEFLATE
+//! codec.
+//!
+//! gztool stores each seek-point window as a zlib stream: a two-byte header,
+//! a raw DEFLATE body, and a big-endian Adler-32 of the decompressed bytes.
+//! The workspace's `rgz_deflate` crate speaks raw DEFLATE only, so this
+//! module adds exactly the framing gztool needs — nothing more (preset
+//! dictionaries are rejected, not implemented).
+
+use rgz_bitio::BitReader;
+use rgz_checksum::adler32;
+use rgz_deflate::{
+    inflate_limited, CompressionLevel, CompressorOptions, DeflateCompressor, DeflateError,
+};
+use rgz_window::WINDOW_SIZE;
+
+/// Errors from decoding a zlib stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ZlibError {
+    /// The two-byte header is malformed (bad method, window size, or header
+    /// check), or requests an unsupported feature (preset dictionary).
+    BadHeader,
+    /// The stream ends before the Adler-32 trailer.
+    Truncated,
+    /// The DEFLATE body is malformed or expands past the caller's limit.
+    Deflate(DeflateError),
+    /// The decompressed bytes do not hash to the stored Adler-32.
+    ChecksumMismatch {
+        /// Adler-32 stored in the trailer.
+        expected: u32,
+        /// Adler-32 of the bytes actually produced.
+        actual: u32,
+    },
+}
+
+impl std::fmt::Display for ZlibError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ZlibError::BadHeader => write!(f, "malformed or unsupported zlib header"),
+            ZlibError::Truncated => write!(f, "truncated zlib stream"),
+            ZlibError::Deflate(e) => write!(f, "zlib DEFLATE body: {e}"),
+            ZlibError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "zlib Adler-32 mismatch: stored {expected:#010x}, computed {actual:#010x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ZlibError {}
+
+/// CMF byte: method 8 (DEFLATE), 32 KiB window.
+const CMF: u8 = 0x78;
+/// FLG byte for `CMF = 0x78`, default compression level, no dictionary:
+/// `(0x78 << 8 | 0x9C) % 31 == 0`.
+const FLG: u8 = 0x9C;
+
+/// Compresses `data` into a zlib stream (header, raw DEFLATE, Adler-32).
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let compressor = DeflateCompressor::new(CompressorOptions {
+        level: CompressionLevel::Default,
+        // Windows are at most 32 KiB: one DEFLATE block suffices.
+        block_size: WINDOW_SIZE,
+        force_dynamic: false,
+    });
+    let body = compressor.compress(data);
+    let mut out = Vec::with_capacity(body.len() + 6);
+    out.push(CMF);
+    out.push(FLG);
+    out.extend_from_slice(&body);
+    out.extend_from_slice(&adler32(data).to_be_bytes());
+    out
+}
+
+/// Decompresses a zlib stream, bounding the output at `limit` bytes so a
+/// hostile stream cannot balloon before validation.
+pub fn decompress(data: &[u8], limit: usize) -> Result<Vec<u8>, ZlibError> {
+    if data.len() < 2 + 4 {
+        return Err(ZlibError::Truncated);
+    }
+    let cmf = data[0];
+    let flg = data[1];
+    let method = cmf & 0x0F;
+    let info = cmf >> 4;
+    // FDICT (bit 5 of FLG) would require the 4-byte dictionary id we never
+    // write and gztool never uses; reject rather than misparse.
+    if method != 8 || info > 7 || (u16::from(cmf) << 8 | u16::from(flg)) % 31 != 0 {
+        return Err(ZlibError::BadHeader);
+    }
+    if flg & 0x20 != 0 {
+        return Err(ZlibError::BadHeader);
+    }
+    let body = &data[2..data.len() - 4];
+    let mut reader = BitReader::new(body);
+    let mut out = Vec::with_capacity(limit.min(WINDOW_SIZE));
+    inflate_limited(&mut reader, &[], &mut out, u64::MAX, limit).map_err(ZlibError::Deflate)?;
+    let stored = u32::from_be_bytes(data[data.len() - 4..].try_into().unwrap());
+    let actual = adler32(&out);
+    if stored != actual {
+        return Err(ZlibError::ChecksumMismatch {
+            expected: stored,
+            actual,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_text_and_binary() {
+        for data in [
+            b"".to_vec(),
+            b"hello zlib hello zlib hello zlib".to_vec(),
+            (0..WINDOW_SIZE).map(|i| (i % 251) as u8).collect(),
+        ] {
+            let stream = compress(&data);
+            assert_eq!(stream[0], 0x78);
+            assert_eq!(
+                (u16::from(stream[0]) << 8 | u16::from(stream[1])) % 31,
+                0,
+                "header check must divide 31"
+            );
+            assert_eq!(decompress(&stream, WINDOW_SIZE).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_headers_and_corruption() {
+        let stream = compress(b"some window bytes");
+        assert_eq!(decompress(&[], 100), Err(ZlibError::Truncated));
+        assert_eq!(decompress(&stream[..4], 100), Err(ZlibError::Truncated));
+
+        let mut bad_method = stream.clone();
+        bad_method[0] = 0x77; // method 7
+        assert_eq!(
+            decompress(&bad_method, WINDOW_SIZE),
+            Err(ZlibError::BadHeader)
+        );
+
+        let mut with_dict = stream.clone();
+        with_dict[1] |= 0x20;
+        // Fix the header check so only FDICT is at fault.
+        while (u16::from(with_dict[0]) << 8 | u16::from(with_dict[1])) % 31 != 0 {
+            with_dict[1] = with_dict[1].wrapping_add(1) | 0x20;
+        }
+        assert_eq!(
+            decompress(&with_dict, WINDOW_SIZE),
+            Err(ZlibError::BadHeader)
+        );
+
+        let mut bad_adler = stream.clone();
+        let length = bad_adler.len();
+        bad_adler[length - 1] ^= 0xFF;
+        assert!(matches!(
+            decompress(&bad_adler, WINDOW_SIZE),
+            Err(ZlibError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn output_limit_stops_hostile_expansion() {
+        let bomb = compress(&vec![0u8; 1 << 20]);
+        assert!(bomb.len() < 4096);
+        assert!(matches!(
+            decompress(&bomb, WINDOW_SIZE),
+            Err(ZlibError::Deflate(_))
+        ));
+    }
+}

@@ -11,5 +11,6 @@ pub use rgz_fetcher as fetcher;
 pub use rgz_gzip as gzip;
 pub use rgz_huffman as huffman;
 pub use rgz_index as index;
+pub use rgz_interop as interop;
 pub use rgz_io as io;
 pub use rgz_window as window;
