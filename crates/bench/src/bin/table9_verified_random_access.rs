@@ -1,0 +1,196 @@
+//! Table 9: verified random access — the cost of checking stored CRC-32
+//! fragments on the index fast path.
+//!
+//! A v3 index stores per-seek-point checksum fragments, so every on-demand
+//! chunk decode under [`VerificationMode::Full`] is hashed and compared.
+//! This harness measures the same shuffled access pattern through the same
+//! v3 index with verification on and off; the hardware-independent ratio
+//! between the two is the price of closing the unverified fast-path hole.
+//!
+//! `--json` emits one [`rgz_bench::JsonReport`] line; `perf_compare` gates
+//! `verified_vs_unverified_ratio`.  The design target is <= 10% overhead
+//! (a ratio of 0.9); the checked-in floor sits at 0.85 to leave measurement
+//! margin on loaded CI runners while still catching pathological
+//! regressions (an accidental second hash or decode pass lands well below
+//! it).
+
+use std::io::{Read, Seek, SeekFrom};
+use std::time::Duration;
+
+use rgz_bench::*;
+use rgz_core::{ParallelGzipReader, ParallelGzipReaderOptions, VerificationMode};
+use rgz_gzip::GzipWriter;
+use rgz_index::GzipIndex;
+use rgz_io::SharedFileReader;
+
+fn options(verification: VerificationMode) -> ParallelGzipReaderOptions {
+    ParallelGzipReaderOptions {
+        parallelization: available_cores(),
+        chunk_size: scaled(1 << 20, 128 << 10),
+        verification,
+        ..Default::default()
+    }
+}
+
+/// Deterministic pseudo-random offsets covering the whole stream.
+fn access_offsets(total: usize, count: usize, read_size: usize) -> Vec<u64> {
+    let mut state = 0x9E3779B9_7F4A7C15u64;
+    (0..count)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state % (total - read_size) as u64
+        })
+        .collect()
+}
+
+fn timed_random_access(
+    reader: &mut ParallelGzipReader,
+    offsets: &[u64],
+    read_size: usize,
+) -> Duration {
+    let mut buffer = vec![0u8; read_size];
+    let start = std::time::Instant::now();
+    for &offset in offsets {
+        reader.seek(SeekFrom::Start(offset)).unwrap();
+        reader.read_exact(&mut buffer).unwrap();
+    }
+    start.elapsed()
+}
+
+/// One sweep with a fresh reader, so every repetition decodes (and, when
+/// enabled, re-verifies) its chunks instead of hitting the resolved cache.
+fn one_sweep(
+    serialized: &[u8],
+    compressed: &[u8],
+    verification: VerificationMode,
+    offsets: &[u64],
+    read_size: usize,
+) -> (Duration, u64, u64) {
+    let index = GzipIndex::import(serialized).unwrap();
+    let mut reader = ParallelGzipReader::with_index(
+        SharedFileReader::from_bytes(compressed.to_vec()),
+        options(verification),
+        index,
+    )
+    .unwrap();
+    let elapsed = timed_random_access(&mut reader, offsets, read_size);
+    let statistics = reader.verification_statistics();
+    (
+        elapsed,
+        statistics.index_chunks_verified,
+        statistics.index_chunks_unverified,
+    )
+}
+
+fn main() {
+    let json = json_mode();
+    let mut report = JsonReport::new("table9_verified_random_access");
+    if !json {
+        print_header(
+            "Table 9 — verified random access through a v3 index",
+            "same access pattern, stored-fragment verification on vs. off",
+        );
+    }
+
+    let total = scaled(48 << 20, 6 << 20);
+    let read_size = 64 << 10;
+    let accesses = scaled(48, 16);
+    let data = rgz_datagen::base64_random(total, 91);
+    let compressed = GzipWriter::default().compress_pigz_like(&data, 128 << 10);
+    let offsets = access_offsets(total, accesses, read_size);
+    let touched = (accesses * read_size) as f64;
+
+    // Producer side: one sequential pass captures the fragments for free;
+    // the v3 export carries them.
+    let mut producer =
+        ParallelGzipReader::from_bytes(compressed.clone(), options(VerificationMode::Full))
+            .unwrap();
+    let index = producer.build_full_index().unwrap();
+    let serialized = index.export();
+    let serialized_v2 = index.export_as(rgz_index::IndexFormat::V2);
+
+    // Untimed warmup: touch the compressed bytes and the allocator once so
+    // the first timed sweep is not charged for cold caches.
+    one_sweep(
+        &serialized,
+        &compressed,
+        VerificationMode::Off,
+        &offsets,
+        read_size,
+    );
+
+    // Interleave the modes and keep the best of each, so machine-load
+    // drift hits both measurements instead of biasing one side.
+    let mut unverified_time = Duration::MAX;
+    let mut fragmentless_time = Duration::MAX;
+    let mut verified_time = Duration::MAX;
+    let mut chunks_verified = 0;
+    let mut chunks_unverified = 0;
+    for _ in 0..5 {
+        let (off, _, _) = one_sweep(
+            &serialized,
+            &compressed,
+            VerificationMode::Off,
+            &offsets,
+            read_size,
+        );
+        unverified_time = unverified_time.min(off);
+        // Control: Full mode through a fragment-less v2 index follows the
+        // identical code path minus the hashing, isolating the hash cost
+        // from any other mode-dependent work.
+        let (v2, _, _) = one_sweep(
+            &serialized_v2,
+            &compressed,
+            VerificationMode::Full,
+            &offsets,
+            read_size,
+        );
+        fragmentless_time = fragmentless_time.min(v2);
+        let (full, verified, unverified) = one_sweep(
+            &serialized,
+            &compressed,
+            VerificationMode::Full,
+            &offsets,
+            read_size,
+        );
+        verified_time = verified_time.min(full);
+        chunks_verified = verified;
+        chunks_unverified = unverified;
+    }
+    let unverified_mb_s = touched / 1e6 / unverified_time.as_secs_f64().max(1e-9);
+    let fragmentless_mb_s = touched / 1e6 / fragmentless_time.as_secs_f64().max(1e-9);
+    let verified_mb_s = touched / 1e6 / verified_time.as_secs_f64().max(1e-9);
+    assert!(
+        chunks_verified > 0 && chunks_unverified == 0,
+        "the v3 fast path must verify every chunk it serves \
+         ({chunks_verified} verified, {chunks_unverified} unverified)"
+    );
+
+    let ratio = verified_mb_s / unverified_mb_s.max(1e-9);
+    if !json {
+        println!(
+            "{:<14} {:>12} {:>16}",
+            "mode", "access MB/s", "chunks verified"
+        );
+        println!("{:<14} {:>12.1} {:>16}", "unverified", unverified_mb_s, "-");
+        println!(
+            "{:<14} {:>12.1} {:>16}",
+            "v2 (no frags)", fragmentless_mb_s, "-"
+        );
+        println!(
+            "{:<14} {:>12.1} {:>16}",
+            "verified", verified_mb_s, chunks_verified
+        );
+        println!("verified/unverified ratio: {ratio:.3}");
+    }
+    report.record("unverified_access_mb_s", unverified_mb_s);
+    report.record("fragmentless_access_mb_s", fragmentless_mb_s);
+    report.record("verified_access_mb_s", verified_mb_s);
+    report.record("verified_vs_unverified_ratio", ratio);
+
+    if json {
+        report.emit();
+    }
+}

@@ -36,6 +36,29 @@ pub fn crc32_combine(crc_a: u32, crc_b: u32, len_b: u64) -> u32 {
     crc32::combine(crc_a, crc_b, len_b)
 }
 
+/// CRC-32 of every fragment of `data` delimited by `fragment_ends` (sorted
+/// end offsets, one per split point).  The returned vector always has
+/// `fragment_ends.len() + 1` entries — the last one hashes the (possibly
+/// empty) tail after the final split.
+///
+/// This is the slicing step behind per-member chunk verification: the
+/// parallel decompressor splits every chunk's output at gzip member
+/// boundaries, hashes each piece independently, and later folds the pieces
+/// with [`crc32_combine`] or compares them against an index's stored
+/// fragments.
+pub fn crc32_fragments(data: &[u8], fragment_ends: &[usize]) -> Vec<u32> {
+    debug_assert!(fragment_ends.windows(2).all(|w| w[0] <= w[1]));
+    debug_assert!(fragment_ends.iter().all(|&end| end <= data.len()));
+    let mut crcs = Vec::with_capacity(fragment_ends.len() + 1);
+    let mut start = 0usize;
+    for &end in fragment_ends {
+        crcs.push(crc32(&data[start..end]));
+        start = end;
+    }
+    crcs.push(crc32(&data[start..]));
+    crcs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -77,6 +100,34 @@ mod tests {
         whole.extend_from_slice(&b);
         let combined = crc32_combine(crc32(&a), crc32(&b), b.len() as u64);
         assert_eq!(combined, crc32(&whole));
+    }
+
+    #[test]
+    fn crc32_fragments_cover_the_buffer_and_fold_back_to_the_whole() {
+        let data: Vec<u8> = (0..5000u32)
+            .map(|i| (i.wrapping_mul(13) >> 3) as u8)
+            .collect();
+        let ends = [0usize, 1200, 1200, 4999];
+        let crcs = crc32_fragments(&data, &ends);
+        assert_eq!(crcs.len(), ends.len() + 1);
+        assert_eq!(crcs[0], crc32(b""));
+        assert_eq!(crcs[1], crc32(&data[..1200]));
+        assert_eq!(crcs[2], crc32(b""));
+        // Folding the fragments in order reproduces the one-shot hash.
+        let mut starts = vec![0];
+        starts.extend_from_slice(&ends);
+        let mut folded = 0u32;
+        for (crc, length) in crcs.iter().zip(
+            starts
+                .iter()
+                .zip(ends.iter().chain(std::iter::once(&data.len())))
+                .map(|(&s, &e)| (e - s) as u64),
+        ) {
+            folded = crc32_combine(folded, *crc, length);
+        }
+        assert_eq!(folded, crc32(&data));
+        // No split points: one fragment hashing the whole buffer.
+        assert_eq!(crc32_fragments(&data, &[]), vec![crc32(&data)]);
     }
 
     #[test]

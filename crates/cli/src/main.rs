@@ -9,10 +9,12 @@
 //!       --count-lines         count newlines instead of writing the output
 //!       --export-index <PATH> write the seek-point index to PATH
 //!       --import-index <PATH> load a seek-point index from PATH; the format
-//!                             (native v1/v2, gztool .gzi, indexed_gzip) is
+//!                             (native v1/v2/v3, gztool .gzi, indexed_gzip) is
 //!                             autodetected from the magic bytes
 //!       --index-format <FMT>  exported index format: v1 (raw windows),
-//!                             v2 (compressed windows, default),
+//!                             v2 (compressed windows),
+//!                             v3 (compressed windows + per-point CRC-32
+//!                             fragments for verified random access, default),
 //!                             gztool (.gzi) or indexed-gzip (GZIDX)
 //!       --verify              verify member CRC-32 and ISIZE trailers while
 //!                             decompressing (default)
@@ -49,7 +51,7 @@ struct Options {
 fn print_usage() {
     eprintln!("usage: rgzip [-d] [-P N] [--chunk-size KiB] [--count-lines]");
     eprintln!("             [--export-index PATH] [--import-index PATH]");
-    eprintln!("             [--index-format v1|v2|gztool|indexed-gzip]");
+    eprintln!("             [--index-format v1|v2|v3|gztool|indexed-gzip]");
     eprintln!("             [--verify|--no-verify] [--serial] [-v]");
     eprintln!("             [-o OUTPUT] FILE");
 }
@@ -185,6 +187,19 @@ fn run(options: &Options) -> Result<(), String> {
                             ""
                         }
                     );
+                    if imported.checksummed_points > 0 {
+                        eprintln!(
+                            "rgzip: {} of {} seek points carry CRC-32 fragments; \
+                             random-access reads will be verified",
+                            imported.checksummed_points,
+                            imported.index.block_map.len()
+                        );
+                    } else {
+                        eprintln!(
+                            "rgzip: index stores no CRC-32 fragments; random-access \
+                             reads through it are NOT verified (re-export as v3 to fix)"
+                        );
+                    }
                 }
                 ParallelGzipReader::with_index(shared, reader_options, imported.index)
             }
@@ -210,7 +225,8 @@ fn run(options: &Options) -> Result<(), String> {
 
         if let Some(path) = &options.export_index {
             let index = reader.build_full_index().map_err(|e| e.to_string())?;
-            let serialized = rgz_interop::export_index(&index, options.index_format);
+            let (serialized, report) =
+                rgz_interop::export_index_with_report(&index, options.index_format);
             std::fs::write(path, &serialized).map_err(|e| e.to_string())?;
             eprintln!(
                 "rgzip: exported {} index with {} seek points ({} bytes) to {path}",
@@ -218,6 +234,13 @@ fn run(options: &Options) -> Result<(), String> {
                 index.block_map.len(),
                 serialized.len()
             );
+            if report.checksummed_points_dropped > 0 {
+                eprintln!(
+                    "rgzip: warning: {} format cannot store CRC-32 fragments; dropped \
+                     checksums for {} seek point(s) (use --index-format v3 to keep them)",
+                    options.index_format, report.checksummed_points_dropped
+                );
+            }
         }
 
         if options.verbose {
@@ -264,6 +287,11 @@ fn run(options: &Options) -> Result<(), String> {
                 verification.bytes_verified,
                 verification.fragments_folded,
                 verification.stream_crc32
+            );
+            eprintln!(
+                "rgzip: random access: {} chunk(s) verified against stored fragments, \
+                 {} unverified (index carried no fragments)",
+                verification.index_chunks_verified, verification.index_chunks_unverified
             );
         }
     }

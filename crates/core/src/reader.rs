@@ -8,11 +8,13 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use rgz_deflate::{replace_markers, replace_markers_hashed, resolve_window, WindowUsage};
 use rgz_fetcher::{Cache, IndexAlignedPlan, TaskHandle, ThreadPool};
-use rgz_index::{GzipIndex, SeekPoint, WINDOW_SIZE};
+use rgz_index::{GzipIndex, PointChecksums, SeekPoint, WINDOW_SIZE};
 use rgz_io::{FileReader, SharedFileReader};
 
 use crate::chunk::{decode_chunk_at, decode_speculative_chunk, SpeculativeChunk};
-use crate::verify::{ChunkFragment, StreamVerifier, VerificationMode, VerificationStatistics};
+use crate::verify::{
+    check_point_fragments, ChunkFragment, StreamVerifier, VerificationMode, VerificationStatistics,
+};
 use crate::{CoreError, DEFAULT_CHUNK_SIZE};
 
 /// Configuration of a [`ParallelGzipReader`].
@@ -100,6 +102,13 @@ pub struct ReaderStatistics {
     /// Reads that found their chunk already decoded (or decoding) by an
     /// index-aligned prefetch.
     pub index_prefetch_hits: u64,
+    /// Index fast-path chunks whose decoded bytes were checked against the
+    /// CRC fragments stored in a v3 index.
+    pub index_chunks_verified: u64,
+    /// Index fast-path chunks served without stored fragments (v1/v2 files,
+    /// foreign imports) — completed *unverified* even under
+    /// [`VerificationMode::Full`].
+    pub index_chunks_unverified: u64,
 }
 
 /// State of the sequential first pass.
@@ -115,6 +124,10 @@ struct SequentialPass {
     /// Sequence number of the next committed chunk; orders the CRC fragment
     /// fold even when worker threads finish out of order.
     next_seq: u64,
+    /// Zero-based index of the gzip member the next chunk starts in; recorded
+    /// into each seek point's [`PointChecksums`] so random-access mismatches
+    /// can name the member.
+    next_member: u64,
 }
 
 enum ChunkData {
@@ -194,6 +207,7 @@ impl ParallelGzipReader {
                     window: Arc::new(Vec::new()),
                     finished: false,
                     next_seq: 0,
+                    next_member: 0,
                 },
                 chunk_data: HashMap::new(),
                 resolved_cache: Cache::new(options.resolved_cache_chunks.max(1)),
@@ -274,12 +288,16 @@ impl ParallelGzipReader {
     }
 
     /// Counters of the checksum verification pipeline: members verified,
-    /// bytes hashed, and the running whole-stream CRC-32.
-    ///
-    /// Verification covers the sequential first pass; chunks decoded through
-    /// an imported index (random access fast path) are not re-verified.
+    /// bytes hashed, the running whole-stream CRC-32, and — for the random
+    /// access fast path — how many chunk decodes were checked against a v3
+    /// index's stored CRC fragments versus served unverified (v1/v2 files
+    /// and foreign imports carry no fragments).
     pub fn verification_statistics(&self) -> VerificationStatistics {
-        self.verifier.lock().statistics()
+        let mut statistics = self.verifier.lock().statistics();
+        let reader_statistics = self.state.lock().statistics;
+        statistics.index_chunks_verified = reader_statistics.index_chunks_verified;
+        statistics.index_chunks_unverified = reader_statistics.index_chunks_unverified;
+        statistics
     }
 
     /// Errors with the first recorded member-trailer mismatch, if any.
@@ -306,6 +324,24 @@ impl ParallelGzipReader {
     /// complete index suitable for export.
     pub fn index(&self) -> GzipIndex {
         let mut state = self.state.lock();
+        // Wait for in-flight chunk workers first: each one records its seek
+        // point's CRC fragments as it finishes, and an export taken before
+        // that would silently lose verification data for the last chunks.
+        let pending: Vec<u64> = state
+            .chunk_data
+            .iter()
+            .filter(|(_, data)| matches!(data, ChunkData::Pending(_)))
+            .map(|(&key, _)| key)
+            .collect();
+        for key in pending {
+            if let Some(ChunkData::Pending(handle)) = state.chunk_data.remove(&key) {
+                if let Ok(data) = handle.wait() {
+                    state
+                        .chunk_data
+                        .insert(key, ChunkData::Ready(Arc::new(data)));
+                }
+            }
+        }
         let mut index = state.index.clone();
         index.uncompressed_size = index.block_map.uncompressed_size();
         state.index.uncompressed_size = index.uncompressed_size;
@@ -357,7 +393,7 @@ impl ParallelGzipReader {
     /// Advances the sequential pass by one chunk, extending the index.
     fn advance_one_chunk(&self) -> Result<(), CoreError> {
         let verify = self.options.verification == VerificationMode::Full;
-        let (start_bit, uncompressed_offset, window, seq) = {
+        let (start_bit, uncompressed_offset, window, seq, first_member) = {
             let state = self.state.lock();
             if state.pass.finished {
                 return Ok(());
@@ -367,6 +403,7 @@ impl ParallelGzipReader {
                 state.pass.next_uncompressed_offset,
                 state.pass.window.clone(),
                 state.pass.next_seq,
+                state.pass.next_member,
             )
         };
 
@@ -391,6 +428,9 @@ impl ParallelGzipReader {
         // Which window bytes the chunk actually referenced; the seek point
         // stores a sparsified window based on this.
         let window_usage;
+        // How many gzip members end inside this chunk, advancing the member
+        // counter for the next seek point's fragment attribution.
+        let members_ended;
         match speculative {
             Some(chunk) if chunk.found_bit_offset == start_bit && start_bit != 0 => {
                 // Non-empty usage is exactly "some symbol is a marker", so a
@@ -424,7 +464,12 @@ impl ParallelGzipReader {
                 let window_clone = window.clone();
                 let symbols = chunk.symbols;
                 let member_ends = chunk.member_ends;
+                members_ended = member_ends.len() as u64;
                 let verifier = self.verifier.clone();
+                // The checksum map shares storage with the index (and holds
+                // no pool reference), so the worker can record this seek
+                // point's fragments for verified random access later.
+                let checksum_map = self.state.lock().index.checksum_map.clone();
                 let handle = self.pool.submit(move || {
                     if verify {
                         // Hash the resolved bytes per member fragment right
@@ -448,6 +493,13 @@ impl ParallelGzipReader {
                             });
                             start += length;
                         }
+                        checksum_map.insert(
+                            start_bit,
+                            PointChecksums::from_fragments(
+                                first_member,
+                                fragments.iter().map(|f| (f.crc32, f.length)),
+                            ),
+                        );
                         verifier.lock().submit(seq, fragments);
                         Ok(data)
                     } else {
@@ -472,7 +524,19 @@ impl ParallelGzipReader {
                     self.options.chunk_size,
                     verify,
                 )?;
+                members_ended = result
+                    .fragments
+                    .iter()
+                    .filter(|f| f.trailer.is_some())
+                    .count() as u64;
                 if verify {
+                    self.state.lock().index.checksum_map.insert(
+                        start_bit,
+                        PointChecksums::from_fragments(
+                            first_member,
+                            result.fragments.iter().map(|f| (f.crc32, f.length)),
+                        ),
+                    );
                     self.verifier
                         .lock()
                         .submit(seq, std::mem::take(&mut result.fragments));
@@ -510,6 +574,7 @@ impl ParallelGzipReader {
         state.pass.next_uncompressed_offset = uncompressed_offset + chunk_length;
         state.pass.window = window_for_next;
         state.pass.next_seq = seq + 1;
+        state.pass.next_member = first_member + members_ended;
         if reached_end_of_file || end_bit >= file_bits {
             state.pass.finished = true;
             state.index.uncompressed_size = state.index.block_map.uncompressed_size();
@@ -694,6 +759,8 @@ impl ParallelGzipReader {
         // inflation itself can run on the worker instead of delaying the
         // read this prefetch is meant to hide.
         let window_map = state.index.window_map.clone();
+        let checksum_map = state.index.checksum_map.clone();
+        let verify = self.options.verification == VerificationMode::Full;
         let plans: Vec<(SeekPoint, u64)> = targets
             .into_iter()
             .filter_map(|chunk| {
@@ -717,6 +784,10 @@ impl ParallelGzipReader {
         for (point, stop_bit) in plans {
             let key = point.compressed_bit_offset;
             let record = window_map.get_compressed(key);
+            // Stored fragments (if any) let the task verify its own output;
+            // an `Arc<PointChecksums>` holds no pool reference, so capturing
+            // it in the closure is safe.
+            let checksums = if verify { checksum_map.get(key) } else { None };
             let reader = self.reader.clone();
             let chunk_size = self.options.chunk_size;
             let expected_length = point.uncompressed_size;
@@ -725,12 +796,23 @@ impl ParallelGzipReader {
                     Some(record) => record.decompress().map_err(CoreError::Window)?,
                     None => Vec::new(),
                 };
-                let result =
-                    decode_chunk_at(&reader, key, stop_bit, &window, key == 0, chunk_size, false)?;
+                let hashed = checksums.is_some();
+                let result = decode_chunk_at(
+                    &reader,
+                    key,
+                    stop_bit,
+                    &window,
+                    key == 0,
+                    chunk_size,
+                    hashed,
+                )?;
                 if result.data.len() as u64 != expected_length {
                     return Err(CoreError::IndexMismatch {
                         compressed_bit_offset: key,
                     });
+                }
+                if let Some(checksums) = &checksums {
+                    check_point_fragments(checksums, &result.fragments)?;
                 }
                 Ok(result.data)
             });
@@ -743,27 +825,54 @@ impl ParallelGzipReader {
 
     // --- serving reads ----------------------------------------------------
 
+    /// Records whether a consumed fast-path chunk was checked against stored
+    /// CRC fragments.  Prefetched chunks with fragments verify inside their
+    /// task; on-demand decodes verify in [`ParallelGzipReader::chunk_bytes`].
+    fn count_fast_path_verification(&self, state: &mut ReaderState, key: u64) {
+        if self.options.verification != VerificationMode::Full {
+            return;
+        }
+        if state.index.checksum_map.contains(key) {
+            state.statistics.index_chunks_verified += 1;
+        } else {
+            state.statistics.index_chunks_unverified += 1;
+        }
+    }
+
     /// Returns the resolved data of the chunk described by `point`.
     fn chunk_bytes(&self, point: &SeekPoint) -> Result<Arc<Vec<u8>>, CoreError> {
         let key = point.compressed_bit_offset;
-        // Data produced (or being produced) by the sequential pass.
+        // Data produced (or being produced) by the sequential pass or an
+        // index-aligned prefetch.  The prefetch-hit bookkeeping lives inside
+        // the match arms: a stale prefetch flag whose data was already
+        // evicted must fall through to the on-demand decode below without
+        // counting the chunk twice.
         {
             let mut state = self.state.lock();
             if let Some(cached) = state.resolved_cache.get(&key) {
                 return Ok(cached);
             }
             let prefetched = state.index_prefetched.remove(&key);
-            if prefetched {
-                state.statistics.index_prefetch_hits += 1;
-                state.statistics.index_chunks += 1;
-            }
             match state.chunk_data.remove(&key) {
                 Some(ChunkData::Ready(data)) => {
+                    if prefetched {
+                        state.statistics.index_prefetch_hits += 1;
+                        state.statistics.index_chunks += 1;
+                        self.count_fast_path_verification(&mut state, key);
+                    }
                     state.resolved_cache.insert(key, data.clone());
                     return Ok(data);
                 }
                 Some(ChunkData::Pending(handle)) => {
+                    if prefetched {
+                        state.statistics.index_prefetch_hits += 1;
+                        state.statistics.index_chunks += 1;
+                        self.count_fast_path_verification(&mut state, key);
+                    }
                     drop(state);
+                    // A prefetched chunk with stored fragments has compared
+                    // its output inside the task; a fragment mismatch
+                    // surfaces here as the task's error.
                     let data = Arc::new(handle.wait()?);
                     // The worker that produced this chunk has submitted its
                     // CRC fragments by now; fail the read if the fold caught
@@ -779,9 +888,14 @@ impl ParallelGzipReader {
 
         // Random access / index fast path: decode on demand with the stored
         // window, lazily re-inflated from its compressed record.
-        let window = {
+        let (window, checksums) = {
             let state = self.state.lock();
-            state.index.window_map.try_get(key)
+            let checksums = if self.options.verification == VerificationMode::Full {
+                state.index.checksum_map.get(key)
+            } else {
+                None
+            };
+            (state.index.window_map.try_get(key), checksums)
         };
         let window = window.map_err(CoreError::Window)?.unwrap_or_default();
         let stop_bit = {
@@ -795,8 +909,10 @@ impl ParallelGzipReader {
                 .unwrap_or(u64::MAX)
         };
         // Chunks re-decoded through the index are not folded into the stream
-        // verification (they were either verified during the sequential pass
-        // or come from an imported index that skips it), so skip hashing.
+        // verification; instead, when the index stores per-point CRC
+        // fragments (format v3), hash the output and compare against them.
+        // Without stored fragments (v1/v2 files, foreign imports) the decode
+        // completes unverified and is counted as such.
         let result = decode_chunk_at(
             &self.reader,
             key,
@@ -804,16 +920,20 @@ impl ParallelGzipReader {
             &window,
             key == 0,
             self.options.chunk_size,
-            false,
+            checksums.is_some(),
         )?;
         if result.data.len() as u64 != point.uncompressed_size {
             return Err(CoreError::IndexMismatch {
                 compressed_bit_offset: key,
             });
         }
+        if let Some(checksums) = &checksums {
+            check_point_fragments(checksums, &result.fragments)?;
+        }
         let data = Arc::new(result.data);
         let mut state = self.state.lock();
         state.statistics.index_chunks += 1;
+        self.count_fast_path_verification(&mut state, key);
         state.resolved_cache.insert(key, data.clone());
         Ok(data)
     }
@@ -833,6 +953,14 @@ impl ParallelGzipReader {
                     self.issue_index_prefetches(self.position);
                     let data = self.chunk_bytes(&point)?;
                     let chunk_offset = (self.position - point.uncompressed_offset) as usize;
+                    // A cached chunk shorter than its seek point claims (a
+                    // lying or stale index) must error like the on-demand
+                    // length check does, not underflow below.
+                    if chunk_offset >= data.len() {
+                        return Err(CoreError::IndexMismatch {
+                            compressed_bit_offset: point.compressed_bit_offset,
+                        });
+                    }
                     let available = data.len() - chunk_offset;
                     let count = available.min(buffer.len());
                     buffer[..count].copy_from_slice(&data[chunk_offset..chunk_offset + count]);
@@ -1166,6 +1294,74 @@ mod tests {
             statistics.index_prefetches_issued > 0,
             "post-pass reads must use the index-aligned plan: {statistics:?}"
         );
+    }
+
+    #[test]
+    fn sequential_pass_captures_fragments_for_every_seek_point() {
+        let data = silesia_like(1_500_000, 60);
+        let compressed = GzipWriter::default().compress(&data);
+        let mut reader =
+            ParallelGzipReader::from_bytes(compressed, options(4, 128 * 1024)).unwrap();
+        // `index()` waits for in-flight workers, so every point's fragments
+        // are present even though speculative chunks insert asynchronously.
+        let index = reader.build_full_index().unwrap();
+        assert!(index.block_map.len() > 2);
+        assert_eq!(index.checksum_map.len(), index.block_map.len());
+        for point in index.block_map.points() {
+            let checksums = index.checksum_map.get(point.compressed_bit_offset).unwrap();
+            let total: u64 = checksums.fragments.iter().map(|f| f.length).sum();
+            assert_eq!(total, point.uncompressed_size);
+        }
+    }
+
+    #[test]
+    fn index_fast_path_reads_verify_against_stored_fragments() {
+        let data = silesia_like(1_500_000, 61);
+        let compressed = GzipWriter::default().compress(&data);
+        let mut first =
+            ParallelGzipReader::from_bytes(compressed.clone(), options(4, 128 * 1024)).unwrap();
+        let index = first.build_full_index().unwrap();
+
+        let small_cache = |index| {
+            ParallelGzipReader::with_index(
+                SharedFileReader::from_bytes(compressed.clone()),
+                ParallelGzipReaderOptions {
+                    parallelization: 2,
+                    chunk_size: 128 * 1024,
+                    resolved_cache_chunks: 1,
+                    ..Default::default()
+                },
+                index,
+            )
+            .unwrap()
+        };
+
+        // The default (v3) export round-trips the fragments, so every
+        // random-access decode is checked.
+        let imported = GzipIndex::import(&index.export()).unwrap();
+        assert_eq!(imported.checksum_map.len(), index.checksum_map.len());
+        let mut verified = small_cache(imported);
+        let mut buffer = vec![0u8; 4096];
+        for offset in [900_000u64, 30_000, 1_200_000] {
+            verified.seek(SeekFrom::Start(offset)).unwrap();
+            verified.read_exact(&mut buffer).unwrap();
+            assert_eq!(&buffer[..], &data[offset as usize..offset as usize + 4096]);
+        }
+        let statistics = verified.verification_statistics();
+        assert!(statistics.index_chunks_verified > 0, "{statistics:?}");
+        assert_eq!(statistics.index_chunks_unverified, 0, "{statistics:?}");
+
+        // The same reads through a fragment-less v2 export complete but are
+        // reported as unverified.
+        let v2 = GzipIndex::import(&index.export_as(rgz_index::IndexFormat::V2)).unwrap();
+        assert!(v2.checksum_map.is_empty());
+        let mut unverified = small_cache(v2);
+        unverified.seek(SeekFrom::Start(900_000)).unwrap();
+        unverified.read_exact(&mut buffer).unwrap();
+        assert_eq!(&buffer[..], &data[900_000..904_096]);
+        let statistics = unverified.verification_statistics();
+        assert_eq!(statistics.index_chunks_verified, 0, "{statistics:?}");
+        assert!(statistics.index_chunks_unverified > 0, "{statistics:?}");
     }
 
     #[test]

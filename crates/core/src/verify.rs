@@ -14,6 +14,7 @@ use std::collections::BTreeMap;
 
 use rgz_checksum::crc32_combine;
 use rgz_gzip::GzipFooter;
+use rgz_index::PointChecksums;
 
 use crate::CoreError;
 
@@ -66,6 +67,14 @@ pub struct VerificationStatistics {
     /// concatenated), folded from the same fragments.  After a complete
     /// in-order pass this equals `crc32` of the full output.
     pub stream_crc32: u32,
+    /// Random-access (index fast path) chunk decodes whose output was
+    /// checked against the CRC fragments stored in a v3 index.
+    pub index_chunks_verified: u64,
+    /// Random-access chunk decodes served without stored fragments (v1/v2
+    /// files, foreign imports) — under [`VerificationMode::Full`] these
+    /// complete *unverified* and are surfaced here instead of silently
+    /// passing.
+    pub index_chunks_unverified: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -200,8 +209,54 @@ impl StreamVerifier {
             fragments_folded: self.fragments_folded,
             chunks_pending: self.slots.len(),
             stream_crc32: self.stream_crc,
+            // Filled in by the reader, which owns the fast-path counters.
+            index_chunks_verified: 0,
+            index_chunks_unverified: 0,
         }
     }
+}
+
+/// Compares the fragments of a re-decoded chunk against the fragments a v3
+/// index stores for its seek point, attributing the first disagreement to
+/// the gzip member it belongs to.
+///
+/// Trailing zero-length fragments are ignored on both sides: the sequential
+/// capture and the random-access re-decode differ in whether they emit an
+/// empty piece when a chunk ends exactly on a member boundary, and an empty
+/// piece carries no checksum information anyway.
+pub(crate) fn check_point_fragments(
+    stored: &PointChecksums,
+    decoded: &[ChunkFragment],
+) -> Result<(), CoreError> {
+    let trimmed = |count: usize, length_at: &dyn Fn(usize) -> u64| -> usize {
+        let mut count = count;
+        while count > 0 && length_at(count - 1) == 0 {
+            count -= 1;
+        }
+        count
+    };
+    let stored_count = trimmed(stored.fragments.len(), &|i| stored.fragments[i].length);
+    let decoded_count = trimmed(decoded.len(), &|i| decoded[i].length);
+    for i in 0..stored_count.max(decoded_count) {
+        let expected = stored.fragments.get(i).filter(|_| i < stored_count);
+        let actual = decoded.get(i).filter(|_| i < decoded_count);
+        let matches = match (expected, actual) {
+            (Some(expected), Some(actual)) => {
+                expected.length == actual.length && expected.crc32 == actual.crc32
+            }
+            // One side ran out: the chunk's member structure changed, which
+            // only corruption (or a stale index) can cause.
+            _ => false,
+        };
+        if !matches {
+            return Err(CoreError::ChecksumMismatch {
+                member: stored.first_member + i as u64,
+                expected: expected.map(|f| f.crc32).unwrap_or(0),
+                actual: actual.map(|f| f.crc32).unwrap_or(0),
+            });
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -298,6 +353,64 @@ mod tests {
         assert!(verifier.check().is_ok());
         assert_eq!(verifier.statistics().members_verified, 0);
         assert_eq!(verifier.statistics().fragments_folded, 0);
+    }
+
+    #[test]
+    fn point_fragment_comparison_names_the_member_and_ignores_empty_tails() {
+        let stored = PointChecksums::from_fragments(5, [(0xAAAA, 100), (0xBBBB, 50)]);
+        let decoded = |crcs: &[(u32, u64)], trailing_empty: bool| -> Vec<ChunkFragment> {
+            let mut fragments: Vec<ChunkFragment> = crcs
+                .iter()
+                .map(|&(crc32, length)| ChunkFragment {
+                    crc32,
+                    length,
+                    trailer: None,
+                })
+                .collect();
+            if trailing_empty {
+                fragments.push(ChunkFragment {
+                    crc32: 0,
+                    length: 0,
+                    trailer: None,
+                });
+            }
+            fragments
+        };
+
+        // Matching fragments pass, with or without the decode's trailing
+        // empty piece (emitted when a chunk ends exactly on a member end).
+        for trailing in [false, true] {
+            assert!(check_point_fragments(
+                &stored,
+                &decoded(&[(0xAAAA, 100), (0xBBBB, 50)], trailing)
+            )
+            .is_ok());
+        }
+        // A CRC disagreement is attributed to first_member + index.
+        match check_point_fragments(&stored, &decoded(&[(0xAAAA, 100), (0xCCCC, 50)], false)) {
+            Err(CoreError::ChecksumMismatch {
+                member,
+                expected,
+                actual,
+            }) => {
+                assert_eq!(member, 6);
+                assert_eq!(expected, 0xBBBB);
+                assert_eq!(actual, 0xCCCC);
+            }
+            other => panic!("expected a mismatch on member 6, got {other:?}"),
+        }
+        // A length disagreement counts too (the crc of wrong-length pieces
+        // proves nothing).
+        assert!(
+            check_point_fragments(&stored, &decoded(&[(0xAAAA, 100), (0xBBBB, 51)], false))
+                .is_err()
+        );
+        // A changed member structure (fragment count) is a mismatch on the
+        // first absent index.
+        match check_point_fragments(&stored, &decoded(&[(0xAAAA, 100)], false)) {
+            Err(CoreError::ChecksumMismatch { member, .. }) => assert_eq!(member, 6),
+            other => panic!("expected a mismatch, got {other:?}"),
+        }
     }
 
     #[test]

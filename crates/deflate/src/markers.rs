@@ -187,15 +187,8 @@ pub fn replace_markers_hashed(
     fragment_ends: &[usize],
 ) -> Result<(Vec<u8>, Vec<u32>), DeflateError> {
     let out = replace_markers(symbols, window)?;
-    debug_assert!(fragment_ends.windows(2).all(|w| w[0] <= w[1]));
     debug_assert!(fragment_ends.iter().all(|&end| end <= out.len()));
-    let mut crcs = Vec::with_capacity(fragment_ends.len() + 1);
-    let mut start = 0usize;
-    for &end in fragment_ends {
-        crcs.push(rgz_checksum::crc32(&out[start..end]));
-        start = end;
-    }
-    crcs.push(rgz_checksum::crc32(&out[start..]));
+    let crcs = rgz_checksum::crc32_fragments(&out, fragment_ends);
     Ok((out, crcs))
 }
 

@@ -18,11 +18,11 @@
 //!
 //! # Serialized formats
 //!
-//! Both formats share the same header and trailing whole-file CRC-32:
+//! All formats share the same header and trailing whole-file CRC-32:
 //!
 //! ```text
 //! magic              8 bytes  "RGZIDX01"
-//! version            u32      1 or 2
+//! version            u32      1, 2 or 3
 //! compressed_size    u64
 //! uncompressed_size  u64
 //! point_count        u64
@@ -46,9 +46,28 @@
 //! original_length u32, window_length u32, payload_length u32,
 //! window_crc32 u32 (CRC-32 of the decompressed window), payload bytes
 //! ```
+//!
+//! A **v3** point record is the v2 record followed by optional per-span CRC
+//! fragments, so random-access reads through the index can be verified
+//! ([`PointChecksums`]):
+//!
+//! ```text
+//! ...v2 record...,
+//! checksums_present u8 (0 or 1), and when present:
+//! first_member u64, fragment_count u32,
+//! fragment_count x { crc32 u32, length u64 }
+//! ```
+//!
+//! The fragments split the seek point's uncompressed span at gzip member
+//! boundaries: fragment `i` covers the part of the span that falls into
+//! member `first_member + i`, and the fragment lengths must sum to the
+//! point's `uncompressed_size`.
 
+use std::collections::HashMap;
 use std::str::FromStr;
 use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 use rgz_checksum::crc32;
 use rgz_fetcher::ThreadPool;
@@ -239,6 +258,98 @@ impl WindowMap {
     }
 }
 
+/// One CRC fragment of a seek point's uncompressed span: the part of the
+/// span that falls into a single gzip member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrcFragment {
+    /// CRC-32 of the fragment's bytes.
+    pub crc32: u32,
+    /// Number of uncompressed bytes the fragment covers.
+    pub length: u64,
+}
+
+/// Per-seek-point verification data (serialized by format v3): the point's
+/// span split at gzip member boundaries, one CRC-32 per piece.  A later
+/// random-access decode of the chunk re-hashes its output the same way and
+/// compares, attributing any disagreement to member `first_member + i`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct PointChecksums {
+    /// Zero-based index of the gzip member the span starts in; fragment `i`
+    /// belongs to member `first_member + i`.
+    pub first_member: u64,
+    /// The span's pieces, in stream order; lengths sum to the seek point's
+    /// `uncompressed_size`.
+    pub fragments: Vec<CrcFragment>,
+}
+
+impl PointChecksums {
+    /// Builds the record from a first-member index and `(crc32, length)`
+    /// pieces, dropping trailing zero-length fragments: the sequential
+    /// capture and the random-access re-decode differ in whether they emit
+    /// an empty piece when a chunk ends exactly on a member boundary, so
+    /// both sides normalise before storing or comparing.
+    pub fn from_fragments(
+        first_member: u64,
+        fragments: impl IntoIterator<Item = (u32, u64)>,
+    ) -> Self {
+        let mut fragments: Vec<CrcFragment> = fragments
+            .into_iter()
+            .map(|(crc32, length)| CrcFragment { crc32, length })
+            .collect();
+        while fragments.last().is_some_and(|f| f.length == 0) {
+            fragments.pop();
+        }
+        Self {
+            first_member,
+            fragments,
+        }
+    }
+}
+
+/// Per-seek-point CRC fragments keyed by compressed bit offset.
+///
+/// Clones share the same storage (like [`WindowMap`]), so decompression
+/// workers can record a chunk's fragments concurrently while the reader and
+/// the index hold references.
+#[derive(Debug, Default, Clone)]
+pub struct ChecksumMap {
+    store: Arc<Mutex<HashMap<u64, Arc<PointChecksums>>>>,
+}
+
+impl ChecksumMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of seek points with stored fragments.
+    pub fn len(&self) -> usize {
+        self.store.lock().len()
+    }
+
+    /// Whether any point has stored fragments.
+    pub fn is_empty(&self) -> bool {
+        self.store.lock().is_empty()
+    }
+
+    /// Whether fragments exist for the given seek point.
+    pub fn contains(&self, compressed_bit_offset: u64) -> bool {
+        self.store.lock().contains_key(&compressed_bit_offset)
+    }
+
+    /// Stores the fragments for a seek point.
+    pub fn insert(&self, compressed_bit_offset: u64, checksums: PointChecksums) {
+        self.store
+            .lock()
+            .insert(compressed_bit_offset, Arc::new(checksums));
+    }
+
+    /// Looks up the fragments for a seek point.
+    pub fn get(&self, compressed_bit_offset: u64) -> Option<Arc<PointChecksums>> {
+        self.store.lock().get(&compressed_bit_offset).cloned()
+    }
+}
+
 /// A complete seek index: block map + window map + stream totals.
 #[derive(Debug, Default, Clone)]
 pub struct GzipIndex {
@@ -246,6 +357,9 @@ pub struct GzipIndex {
     pub block_map: BlockMap,
     /// Windows for each seek point.
     pub window_map: WindowMap,
+    /// Per-point CRC fragments for verified random access (empty for v1/v2
+    /// and foreign imports; clones share storage).
+    pub checksum_map: ChecksumMap,
     /// Size of the compressed file in bytes (0 if unknown).
     pub compressed_size: u64,
     /// Total decompressed size (0 if unknown / not yet complete).
@@ -376,8 +490,11 @@ pub enum IndexFormat {
     V1,
     /// Version 2: compressed-window records (flags byte, per-window CRC-32,
     /// deflate payload) — typically several times smaller than v1.
-    #[default]
     V2,
+    /// Version 3: the v2 record plus optional per-span CRC fragments, so
+    /// random-access reads through the index can be verified.
+    #[default]
+    V3,
 }
 
 impl IndexFormat {
@@ -386,6 +503,7 @@ impl IndexFormat {
         match self {
             IndexFormat::V1 => 1,
             IndexFormat::V2 => 2,
+            IndexFormat::V3 => 3,
         }
     }
 }
@@ -397,8 +515,9 @@ impl FromStr for IndexFormat {
         match value {
             "v1" | "V1" | "1" => Ok(IndexFormat::V1),
             "v2" | "V2" | "2" => Ok(IndexFormat::V2),
+            "v3" | "V3" | "3" => Ok(IndexFormat::V3),
             other => Err(format!(
-                "unknown index format '{other}' (expected v1 or v2)"
+                "unknown index format '{other}' (expected v1, v2 or v3)"
             )),
         }
     }
@@ -453,7 +572,8 @@ impl GzipIndex {
         self.block_map.checked_push(point)
     }
 
-    /// Serialises the index in the default (v2, compressed-window) format.
+    /// Serialises the index in the default (v3, compressed windows plus
+    /// per-point CRC fragments) format.
     pub fn export(&self) -> Vec<u8> {
         self.export_as(IndexFormat::default())
     }
@@ -461,10 +581,11 @@ impl GzipIndex {
     /// Serialises the index in an explicit format.
     ///
     /// v1 reconstructs each raw window (zero-padding sparsified ones back to
-    /// their original length, which decodes identically); v2 writes the
-    /// compressed records as-is.  A window that fails its checksum on v1
-    /// reconstruction is exported as empty — this can only happen to records
-    /// that were already corrupt when imported.
+    /// their original length, which decodes identically); v2 and v3 write the
+    /// compressed records as-is, and v3 appends each point's CRC fragments
+    /// when the checksum map holds them.  A window that fails its checksum on
+    /// v1 reconstruction is exported as empty — this can only happen to
+    /// records that were already corrupt when imported.
     pub fn export_as(&self, format: IndexFormat) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(MAGIC);
@@ -485,31 +606,49 @@ impl GzipIndex {
                     out.extend_from_slice(&(window.len() as u32).to_le_bytes());
                     out.extend_from_slice(&window);
                 }
-                IndexFormat::V2 => match record {
-                    Some(record) => {
-                        // v1-imported windows sit in the store verbatim (the
-                        // import path skips compression to stay cheap);
-                        // compress them here so a v1 -> v2 conversion still
-                        // shrinks the file.
-                        let record = match record.recompressed() {
-                            Some(compressed) => Arc::new(compressed),
-                            None => record,
-                        };
-                        out.push(record.flags);
-                        out.extend_from_slice(&record.original_length.to_le_bytes());
-                        out.extend_from_slice(&record.window_length.to_le_bytes());
-                        out.extend_from_slice(&(record.payload.len() as u32).to_le_bytes());
-                        out.extend_from_slice(&record.checksum.to_le_bytes());
-                        out.extend_from_slice(&record.payload);
+                IndexFormat::V2 | IndexFormat::V3 => {
+                    match record {
+                        Some(record) => {
+                            // v1-imported windows sit in the store verbatim
+                            // (the import path skips compression to stay
+                            // cheap); compress them here so a v1 -> v2/v3
+                            // conversion still shrinks the file.
+                            let record = match record.recompressed() {
+                                Some(compressed) => Arc::new(compressed),
+                                None => record,
+                            };
+                            out.push(record.flags);
+                            out.extend_from_slice(&record.original_length.to_le_bytes());
+                            out.extend_from_slice(&record.window_length.to_le_bytes());
+                            out.extend_from_slice(&(record.payload.len() as u32).to_le_bytes());
+                            out.extend_from_slice(&record.checksum.to_le_bytes());
+                            out.extend_from_slice(&record.payload);
+                        }
+                        None => {
+                            out.push(0u8);
+                            out.extend_from_slice(&0u32.to_le_bytes()); // original_length
+                            out.extend_from_slice(&0u32.to_le_bytes()); // window_length
+                            out.extend_from_slice(&0u32.to_le_bytes()); // payload_length
+                            out.extend_from_slice(&0u32.to_le_bytes()); // checksum
+                        }
                     }
-                    None => {
-                        out.push(0u8);
-                        out.extend_from_slice(&0u32.to_le_bytes()); // original_length
-                        out.extend_from_slice(&0u32.to_le_bytes()); // window_length
-                        out.extend_from_slice(&0u32.to_le_bytes()); // payload_length
-                        out.extend_from_slice(&0u32.to_le_bytes()); // checksum
+                    if format == IndexFormat::V3 {
+                        match self.checksum_map.get(point.compressed_bit_offset) {
+                            Some(checksums) => {
+                                out.push(1u8);
+                                out.extend_from_slice(&checksums.first_member.to_le_bytes());
+                                out.extend_from_slice(
+                                    &(checksums.fragments.len() as u32).to_le_bytes(),
+                                );
+                                for fragment in &checksums.fragments {
+                                    out.extend_from_slice(&fragment.crc32.to_le_bytes());
+                                    out.extend_from_slice(&fragment.length.to_le_bytes());
+                                }
+                            }
+                            None => out.push(0u8),
+                        }
                     }
-                },
+                }
             }
         }
         let checksum = crc32(&out);
@@ -518,8 +657,8 @@ impl GzipIndex {
     }
 
     /// Reconstructs an index previously produced by [`GzipIndex::export`] or
-    /// [`GzipIndex::export_as`] — both v1 (raw windows) and v2
-    /// (compressed-window records) files are accepted.
+    /// [`GzipIndex::export_as`] — v1 (raw windows), v2 (compressed-window
+    /// records) and v3 (v2 plus per-point CRC fragments) files are accepted.
     pub fn import(data: &[u8]) -> Result<Self, IndexError> {
         if data.len() < MAGIC.len() + 4 + 8 + 8 + 8 + 4 {
             return Err(IndexError::Truncated);
@@ -554,15 +693,20 @@ impl GzipIndex {
         };
 
         let version = read_u32(&mut cursor)?;
-        if version != 1 && version != 2 {
+        if !(1..=3).contains(&version) {
             return Err(IndexError::UnsupportedVersion(version));
         }
         let compressed_size = read_u64(&mut cursor)?;
         let uncompressed_size = read_u64(&mut cursor)?;
         let point_count = read_u64(&mut cursor)? as usize;
-        // A point record is at least 28 (v1) / 41 (v2) bytes; a count beyond
-        // what the remaining bytes can hold is corrupt or hostile.
-        let minimum_record = if version == 1 { 28 } else { 41 };
+        // A point record is at least 28 (v1) / 41 (v2) / 42 (v3) bytes; a
+        // count beyond what the remaining bytes can hold is corrupt or
+        // hostile.
+        let minimum_record = match version {
+            1 => 28,
+            2 => 41,
+            _ => 42,
+        };
         let remaining = data.len().saturating_sub(cursor + 4);
         if point_count > remaining / minimum_record {
             return Err(IndexError::PointCountTooLarge {
@@ -643,6 +787,52 @@ impl GzipIndex {
                 index
                     .window_map
                     .insert_compressed(point.compressed_bit_offset, record);
+                if version >= 3 {
+                    match read_u8(&mut cursor)? {
+                        0 => {}
+                        1 => {
+                            let first_member = read_u64(&mut cursor)?;
+                            let fragment_count = read_u32(&mut cursor)? as usize;
+                            // Each fragment is 12 bytes; a count beyond what
+                            // the remaining bytes can hold is corrupt or
+                            // hostile, and honouring it would mean a huge
+                            // allocation.
+                            let remaining = data.len().saturating_sub(cursor + 4);
+                            if fragment_count > remaining / 12 {
+                                return Err(IndexError::PointCountTooLarge {
+                                    count: fragment_count as u64,
+                                });
+                            }
+                            let mut fragments = Vec::with_capacity(fragment_count);
+                            let mut covered = 0u64;
+                            for _ in 0..fragment_count {
+                                let crc32 = read_u32(&mut cursor)?;
+                                let length = read_u64(&mut cursor)?;
+                                covered = covered.checked_add(length).ok_or(
+                                    IndexError::InvalidPoint("checksum fragment lengths overflow"),
+                                )?;
+                                fragments.push(CrcFragment { crc32, length });
+                            }
+                            // Fragments that do not cover the span exactly
+                            // could never verify a decode of it.
+                            if covered != point.uncompressed_size {
+                                return Err(IndexError::InvalidPoint(
+                                    "checksum fragments do not cover the seek point's span",
+                                ));
+                            }
+                            index.checksum_map.insert(
+                                point.compressed_bit_offset,
+                                PointChecksums {
+                                    first_member,
+                                    fragments,
+                                },
+                            );
+                        }
+                        _ => {
+                            return Err(IndexError::InvalidPoint("unknown checksum-presence flag"))
+                        }
+                    }
+                }
                 index.block_map.checked_push(point)?;
             }
         }
@@ -748,9 +938,9 @@ mod tests {
     }
 
     #[test]
-    fn export_import_round_trips_in_both_formats() {
+    fn export_import_round_trips_in_all_formats() {
         let index = sample_index();
-        for format in [IndexFormat::V1, IndexFormat::V2] {
+        for format in [IndexFormat::V1, IndexFormat::V2, IndexFormat::V3] {
             let serialized = index.export_as(format);
             let restored = GzipIndex::import(&serialized).unwrap();
             assert_eq!(restored.compressed_size, index.compressed_size);
@@ -948,13 +1138,14 @@ mod tests {
         assert_eq!(&stored[..10], &window[1000..1010]);
         assert_eq!(&stored[stored.len() - 20..], &window[WINDOW_SIZE - 20..]);
 
-        for format in [IndexFormat::V1, IndexFormat::V2] {
+        for format in [IndexFormat::V1, IndexFormat::V2, IndexFormat::V3] {
             let restored = GzipIndex::import(&index.export_as(format)).unwrap();
             let restored_window = restored.window_map.get(64).unwrap();
-            // v1 pads back to the original length; v2 keeps the masked shape.
+            // v1 pads back to the original length; v2/v3 keep the masked
+            // shape.
             let expected_len = match format {
                 IndexFormat::V1 => WINDOW_SIZE,
-                IndexFormat::V2 => WINDOW_SIZE - 1000,
+                IndexFormat::V2 | IndexFormat::V3 => WINDOW_SIZE - 1000,
             };
             assert_eq!(restored_window.len(), expected_len);
             let tail = &restored_window[restored_window.len() - 20..];
@@ -967,8 +1158,152 @@ mod tests {
         assert_eq!("v1".parse::<IndexFormat>().unwrap(), IndexFormat::V1);
         assert_eq!("v2".parse::<IndexFormat>().unwrap(), IndexFormat::V2);
         assert_eq!("2".parse::<IndexFormat>().unwrap(), IndexFormat::V2);
-        assert!("v3".parse::<IndexFormat>().is_err());
-        assert_eq!(IndexFormat::default(), IndexFormat::V2);
+        assert_eq!("v3".parse::<IndexFormat>().unwrap(), IndexFormat::V3);
+        assert_eq!("3".parse::<IndexFormat>().unwrap(), IndexFormat::V3);
+        assert!("v4".parse::<IndexFormat>().is_err());
+        assert_eq!(IndexFormat::default(), IndexFormat::V3);
+    }
+
+    /// The sample index with CRC fragments attached to every other point, to
+    /// exercise the both-present-and-absent paths of the v3 record.
+    fn sample_index_with_checksums() -> GzipIndex {
+        let index = sample_index();
+        for (i, point) in index.block_map.points().iter().enumerate() {
+            if i % 2 == 0 {
+                index.checksum_map.insert(
+                    point.compressed_bit_offset,
+                    PointChecksums::from_fragments(
+                        i as u64 * 3,
+                        [
+                            (0xDEAD_0000 + i as u32, 24_000),
+                            (0xBEEF_0000 + i as u32, 40_000),
+                        ],
+                    ),
+                );
+            }
+        }
+        index
+    }
+
+    #[test]
+    fn v3_round_trips_checksum_fragments_and_v2_drops_them() {
+        let index = sample_index_with_checksums();
+        let restored = GzipIndex::import(&index.export_as(IndexFormat::V3)).unwrap();
+        assert_eq!(restored.checksum_map.len(), index.checksum_map.len());
+        for point in index.block_map.points() {
+            assert_eq!(
+                restored.checksum_map.get(point.compressed_bit_offset),
+                index.checksum_map.get(point.compressed_bit_offset),
+                "fragments lost or changed for point at bit {}",
+                point.compressed_bit_offset
+            );
+        }
+        // The same index exported as v2 (or v1) simply has no fragments.
+        let as_v2 = GzipIndex::import(&index.export_as(IndexFormat::V2)).unwrap();
+        assert!(as_v2.checksum_map.is_empty());
+        let as_v1 = GzipIndex::import(&index.export_as(IndexFormat::V1)).unwrap();
+        assert!(as_v1.checksum_map.is_empty());
+    }
+
+    #[test]
+    fn from_fragments_normalises_trailing_empty_pieces() {
+        let checksums =
+            PointChecksums::from_fragments(7, [(1, 10), (2, 0), (3, 5), (4, 0), (0, 0)]);
+        assert_eq!(checksums.first_member, 7);
+        assert_eq!(
+            checksums.fragments,
+            vec![
+                CrcFragment {
+                    crc32: 1,
+                    length: 10
+                },
+                CrcFragment {
+                    crc32: 2,
+                    length: 0
+                },
+                CrcFragment {
+                    crc32: 3,
+                    length: 5
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn v3_import_rejects_hostile_checksum_records() {
+        let mut index = GzipIndex::new();
+        index.add_seek_point(
+            SeekPoint {
+                compressed_bit_offset: 8,
+                uncompressed_offset: 0,
+                uncompressed_size: 100,
+            },
+            &[1, 2, 3, 4],
+        );
+        index.checksum_map.insert(
+            8,
+            PointChecksums::from_fragments(0, [(0x1234, 60), (0x5678, 40)]),
+        );
+        let serialized = index.export_as(IndexFormat::V3);
+        // Layout: header (36) + three u64 offsets (24) + v2 window record
+        // (17 + payload) + presence byte + first_member u64 + count u32.
+        let record_position = 36 + 24;
+        let payload_length = u32::from_le_bytes(
+            serialized[record_position + 1 + 4 + 4..record_position + 1 + 4 + 4 + 4]
+                .try_into()
+                .unwrap(),
+        ) as usize;
+        let presence_position = record_position + 17 + payload_length;
+        assert_eq!(serialized[presence_position], 1);
+        let count_position = presence_position + 1 + 8;
+        assert_eq!(
+            u32::from_le_bytes(
+                serialized[count_position..count_position + 4]
+                    .try_into()
+                    .unwrap()
+            ),
+            2
+        );
+
+        // An unknown presence flag is rejected.
+        assert_eq!(
+            import_with_patch(serialized.clone(), presence_position, &[9]).unwrap_err(),
+            IndexError::InvalidPoint("unknown checksum-presence flag")
+        );
+        // An oversized fragment count is rejected before any allocation.
+        assert_eq!(
+            import_with_patch(serialized.clone(), count_position, &u32::MAX.to_le_bytes())
+                .unwrap_err(),
+            IndexError::PointCountTooLarge {
+                count: u32::MAX as u64
+            }
+        );
+        // Fragment lengths that do not sum to the point's span are rejected.
+        let first_length_position = count_position + 4 + 4;
+        assert_eq!(
+            import_with_patch(
+                serialized.clone(),
+                first_length_position,
+                &61u64.to_le_bytes()
+            )
+            .unwrap_err(),
+            IndexError::InvalidPoint("checksum fragments do not cover the seek point's span")
+        );
+        // Sanity: the unpatched file imports and carries the fragments.
+        let restored = GzipIndex::import(&serialized).unwrap();
+        assert_eq!(
+            restored.checksum_map.get(8).unwrap().fragments,
+            vec![
+                CrcFragment {
+                    crc32: 0x1234,
+                    length: 60
+                },
+                CrcFragment {
+                    crc32: 0x5678,
+                    length: 40
+                },
+            ]
+        );
     }
 
     proptest! {

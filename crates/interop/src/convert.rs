@@ -67,6 +67,10 @@ pub struct ImportedIndex {
     /// Whether a synthetic point at offset zero was prepended because the
     /// foreign index only starts deeper into the stream.
     pub synthesized_leading_point: bool,
+    /// Seek points that carry stored CRC-32 fragments (only native v3 files
+    /// have any).  Zero means random-access reads through this index cannot
+    /// be verified and are reported as such by the reader's statistics.
+    pub checksummed_points: usize,
 }
 
 /// Builds a [`GzipIndex`] out of parsed foreign points and stream totals.
@@ -169,5 +173,7 @@ pub(crate) fn assemble(
         format,
         windowless_points_dropped: dropped,
         synthesized_leading_point: synthesized,
+        // Foreign formats store no per-point checksums.
+        checksummed_points: 0,
     })
 }

@@ -36,7 +36,7 @@ use rgz_index::{DetectedFormat, GzipIndex, IndexError, IndexFormat};
 /// container versions plus the two foreign formats.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AnyIndexFormat {
-    /// The native `RGZIDX01` container (v1 or v2).
+    /// The native `RGZIDX01` container (v1, v2 or v3).
     Native(IndexFormat),
     /// gztool's `.gzi` v0 format.
     Gztool,
@@ -55,6 +55,7 @@ impl std::fmt::Display for AnyIndexFormat {
         match self {
             AnyIndexFormat::Native(IndexFormat::V1) => write!(f, "v1"),
             AnyIndexFormat::Native(IndexFormat::V2) => write!(f, "v2"),
+            AnyIndexFormat::Native(IndexFormat::V3) => write!(f, "v3"),
             AnyIndexFormat::Gztool => write!(f, "gztool"),
             AnyIndexFormat::IndexedGzip => write!(f, "indexed-gzip"),
         }
@@ -74,7 +75,7 @@ impl FromStr for AnyIndexFormat {
                 .map_err(|_| {
                     format!(
                         "unknown index format '{other}' \
-                         (expected v1, v2, gztool or indexed-gzip)"
+                         (expected v1, v2, v3, gztool or indexed-gzip)"
                     )
                 }),
         }
@@ -85,12 +86,17 @@ impl FromStr for AnyIndexFormat {
 /// dispatching on the magic.
 pub fn import_index(data: &[u8]) -> Result<ImportedIndex, IndexError> {
     match rgz_index::detect_format(data) {
-        DetectedFormat::Rgz => Ok(ImportedIndex {
-            index: GzipIndex::import(data)?,
-            format: DetectedFormat::Rgz,
-            windowless_points_dropped: 0,
-            synthesized_leading_point: false,
-        }),
+        DetectedFormat::Rgz => {
+            let index = GzipIndex::import(data)?;
+            let checksummed_points = index.checksum_map.len();
+            Ok(ImportedIndex {
+                index,
+                format: DetectedFormat::Rgz,
+                windowless_points_dropped: 0,
+                synthesized_leading_point: false,
+                checksummed_points,
+            })
+        }
         DetectedFormat::Gztool | DetectedFormat::GztoolWithLines => gztool::import(data),
         DetectedFormat::IndexedGzip => indexed_gzip::import(data),
         DetectedFormat::Unknown => Err(IndexError::BadMagic),
@@ -104,6 +110,33 @@ pub fn export_index(index: &GzipIndex, format: AnyIndexFormat) -> Vec<u8> {
         AnyIndexFormat::Gztool => gztool::export(index),
         AnyIndexFormat::IndexedGzip => indexed_gzip::export(index),
     }
+}
+
+/// What an export could not represent in the target format.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExportReport {
+    /// Seek points whose stored CRC-32 fragments were dropped because the
+    /// target format (native v1/v2, gztool, indexed_gzip) cannot carry them.
+    /// Random-access reads through the exported file will be unverifiable.
+    pub checksummed_points_dropped: usize,
+}
+
+/// Like [`export_index`], but also reports what the target format lost.
+/// Only native v3 preserves per-point checksum fragments.
+pub fn export_index_with_report(
+    index: &GzipIndex,
+    format: AnyIndexFormat,
+) -> (Vec<u8>, ExportReport) {
+    let dropped = match format {
+        AnyIndexFormat::Native(IndexFormat::V3) => 0,
+        _ => index.checksum_map.len(),
+    };
+    (
+        export_index(index, format),
+        ExportReport {
+            checksummed_points_dropped: dropped,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -375,6 +408,7 @@ mod tests {
         for (name, format) in [
             ("v1", AnyIndexFormat::Native(IndexFormat::V1)),
             ("v2", AnyIndexFormat::Native(IndexFormat::V2)),
+            ("v3", AnyIndexFormat::Native(IndexFormat::V3)),
             ("gztool", AnyIndexFormat::Gztool),
             ("gzi", AnyIndexFormat::Gztool),
             ("indexed-gzip", AnyIndexFormat::IndexedGzip),
@@ -386,13 +420,13 @@ mod tests {
         assert!("bgzf".parse::<AnyIndexFormat>().is_err());
         assert_eq!(AnyIndexFormat::Gztool.to_string(), "gztool");
         assert_eq!(AnyIndexFormat::IndexedGzip.to_string(), "indexed-gzip");
-        assert_eq!(AnyIndexFormat::default().to_string(), "v2");
+        assert_eq!(AnyIndexFormat::default().to_string(), "v3");
     }
 
     #[test]
     fn native_files_pass_through_import_index() {
         let index = full_window_index(2);
-        for native in [IndexFormat::V1, IndexFormat::V2] {
+        for native in [IndexFormat::V1, IndexFormat::V2, IndexFormat::V3] {
             let imported = import_index(&index.export_as(native)).unwrap();
             assert_eq!(imported.format, DetectedFormat::Rgz);
             assert_same_points_and_windows(&imported.index, &index);
@@ -401,6 +435,47 @@ mod tests {
             import_index(b"not an index at all").unwrap_err(),
             IndexError::BadMagic
         );
+    }
+
+    /// Attaches a stored CRC fragment to every seek point of `index`.
+    fn checksum_every_point(index: &GzipIndex) {
+        for (position, point) in index.block_map.points().iter().enumerate() {
+            index.checksum_map.insert(
+                point.compressed_bit_offset,
+                rgz_index::PointChecksums::from_fragments(
+                    position as u64,
+                    [(0xDEAD_BEEF ^ position as u32, point.uncompressed_size)],
+                ),
+            );
+        }
+    }
+
+    #[test]
+    fn only_native_v3_round_trips_checksum_fragments() {
+        let index = full_window_index(2);
+        checksum_every_point(&index);
+        let total = index.checksum_map.len();
+        assert_eq!(total, 3);
+
+        let (serialized, report) =
+            export_index_with_report(&index, AnyIndexFormat::Native(IndexFormat::V3));
+        assert_eq!(report.checksummed_points_dropped, 0);
+        let imported = import_index(&serialized).unwrap();
+        assert_eq!(imported.checksummed_points, total);
+        assert_eq!(imported.index.checksum_map.len(), total);
+
+        for lossy in [
+            AnyIndexFormat::Native(IndexFormat::V1),
+            AnyIndexFormat::Native(IndexFormat::V2),
+            AnyIndexFormat::Gztool,
+            AnyIndexFormat::IndexedGzip,
+        ] {
+            let (serialized, report) = export_index_with_report(&index, lossy);
+            assert_eq!(report.checksummed_points_dropped, total, "{lossy}");
+            let imported = import_index(&serialized).unwrap();
+            assert_eq!(imported.checksummed_points, 0, "{lossy}");
+            assert!(imported.index.checksum_map.is_empty(), "{lossy}");
+        }
     }
 
     #[test]

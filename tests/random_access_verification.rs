@@ -1,0 +1,301 @@
+//! Corruption-injection tests for the *random access* path.
+//!
+//! The contract under test: with a native v3 index (which stores per-seek-
+//! point CRC-32 fragments split at member boundaries), a single-bit flip in
+//! any chunk body is detected by a random-access read under
+//! [`VerificationMode::Full`] and the error names the offending member.
+//! The same read through a fragment-less index — native v1/v2 or a foreign
+//! gztool/indexed_gzip import — completes (the bytes still decode), but the
+//! reader's statistics must report the chunk as *unverified*, never as
+//! silently clean.
+
+use std::io::{Read, Seek, SeekFrom};
+
+use rapidgzip_suite::core::{ParallelGzipReader, ParallelGzipReaderOptions, VerificationMode};
+use rapidgzip_suite::datagen;
+use rapidgzip_suite::gzip::{
+    decompress_with_info, CompressorFrontend, FrontendKind, GzipWriter, MemberInfo,
+};
+use rapidgzip_suite::index::{GzipIndex, IndexFormat, SeekPoint};
+use rapidgzip_suite::interop::{export_index, import_index, AnyIndexFormat};
+
+fn options(verification: VerificationMode) -> ParallelGzipReaderOptions {
+    ParallelGzipReaderOptions {
+        parallelization: 4,
+        chunk_size: 32 * 1024,
+        verification,
+        // A single-slot cache so every seek in the sweep below re-decodes
+        // (and therefore re-verifies) its chunk through the index fast path.
+        resolved_cache_chunks: 1,
+        ..Default::default()
+    }
+}
+
+/// Builds a full seek-point index (with captured CRC fragments) for
+/// `compressed` via a sequential pass.
+fn build_index(compressed: &[u8]) -> GzipIndex {
+    let mut builder =
+        ParallelGzipReader::from_bytes(compressed.to_vec(), options(VerificationMode::Full))
+            .unwrap();
+    builder.build_full_index().unwrap()
+}
+
+fn indexed_reader(
+    compressed: &[u8],
+    index: GzipIndex,
+    verification: VerificationMode,
+) -> ParallelGzipReader {
+    ParallelGzipReader::with_index(
+        rapidgzip_suite::io::SharedFileReader::from_bytes(compressed.to_vec()),
+        options(verification),
+        index,
+    )
+    .unwrap()
+}
+
+/// The five on-disk formats a seek-point index round-trips through.  Only
+/// native v3 carries checksum fragments.
+fn all_formats() -> [AnyIndexFormat; 5] {
+    [
+        AnyIndexFormat::Native(IndexFormat::V1),
+        AnyIndexFormat::Native(IndexFormat::V2),
+        AnyIndexFormat::Native(IndexFormat::V3),
+        AnyIndexFormat::Gztool,
+        AnyIndexFormat::IndexedGzip,
+    ]
+}
+
+#[test]
+fn pristine_random_access_is_verified_only_with_native_v3() {
+    let data = datagen::silesia_like(900_000, 201);
+    let compressed = GzipWriter::default().compress(&data);
+    let index = build_index(&compressed);
+    assert!(index.checksum_map.len() >= index.block_map.len());
+
+    for format in all_formats() {
+        let verifiable = format == AnyIndexFormat::Native(IndexFormat::V3);
+        let imported = import_index(&export_index(&index, format)).unwrap();
+        assert_eq!(
+            imported.checksummed_points > 0,
+            verifiable,
+            "{format}: checksummed_points = {}",
+            imported.checksummed_points
+        );
+
+        let mut reader = indexed_reader(&compressed, imported.index, VerificationMode::Full);
+        let mut buffer = vec![0u8; 4096];
+        for offset in [700_000u64, 40_000, 450_000, 850_000] {
+            reader.seek(SeekFrom::Start(offset)).unwrap();
+            reader.read_exact(&mut buffer).unwrap();
+            assert_eq!(
+                &buffer[..],
+                &data[offset as usize..offset as usize + 4096],
+                "{format}: wrong bytes at {offset}"
+            );
+        }
+        let statistics = reader.verification_statistics();
+        if verifiable {
+            assert!(
+                statistics.index_chunks_verified > 0 && statistics.index_chunks_unverified == 0,
+                "{format}: {statistics:?}"
+            );
+        } else {
+            assert!(
+                statistics.index_chunks_verified == 0 && statistics.index_chunks_unverified > 0,
+                "{format}: {statistics:?}"
+            );
+        }
+    }
+}
+
+/// A BGZF file of *stored* (uncompressed) DEFLATE blocks: a payload bit flip
+/// always decodes to plausible output, so only checksum verification can
+/// catch it — and member attribution is deterministic.
+fn stored_bgzf_corpus() -> (Vec<u8>, Vec<u8>, Vec<MemberInfo>) {
+    let data = datagen::fastq_of_size(600_000, 202);
+    let compressed = CompressorFrontend::new(FrontendKind::Bgzf, 0).compress(&data);
+    let (restored, members) = decompress_with_info(&compressed).unwrap();
+    assert_eq!(restored, data);
+    (compressed, data, members)
+}
+
+/// Target members spread across the file, skipping the empty BGZF EOF
+/// member, with the flip landing mid-payload (inside stored block data).
+fn flip_sites(members: &[MemberInfo]) -> Vec<(usize, usize)> {
+    [1, members.len() / 2, members.len() - 2]
+        .into_iter()
+        .map(|m| {
+            let member = &members[m];
+            (
+                m,
+                (member.compressed_start as usize + member.compressed_end as usize) / 2,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn chunk_body_bit_flips_are_detected_and_attributed_through_native_v3() {
+    let (pristine, _, members) = stored_bgzf_corpus();
+    let index = build_index(&pristine);
+    // Go through the on-disk v3 container, not just the in-memory index.
+    let serialized = export_index(&index, AnyIndexFormat::Native(IndexFormat::V3));
+
+    for (member, byte) in flip_sites(&members) {
+        for bit in [0u8, 5] {
+            let mut corrupted = pristine.clone();
+            corrupted[byte] ^= 1 << bit;
+            let imported = import_index(&serialized).unwrap();
+            let mut reader = indexed_reader(&corrupted, imported.index, VerificationMode::Full);
+            let target = members[member].uncompressed_start + members[member].uncompressed_size / 2;
+            reader.seek(SeekFrom::Start(target)).unwrap();
+            let mut buffer = vec![0u8; 1024];
+            let error = reader
+                .read_exact(&mut buffer)
+                .expect_err(&format!(
+                    "flipping bit {bit} of byte {byte} (member {member}) went undetected"
+                ))
+                .to_string();
+            assert!(
+                error.contains(&format!("member {member}")),
+                "expected the error to name member {member}, got: {error}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fragmentless_imports_complete_corrupted_reads_but_report_unverified() {
+    let (pristine, data, members) = stored_bgzf_corpus();
+    let index = build_index(&pristine);
+
+    let (member, byte) = flip_sites(&members)[1];
+    let mut corrupted = pristine.clone();
+    corrupted[byte] ^= 1 << 3;
+    let span = members[member].uncompressed_start as usize
+        ..(members[member].uncompressed_start + members[member].uncompressed_size) as usize;
+
+    for format in [
+        AnyIndexFormat::Native(IndexFormat::V1),
+        AnyIndexFormat::Native(IndexFormat::V2),
+        AnyIndexFormat::Gztool,
+        AnyIndexFormat::IndexedGzip,
+    ] {
+        let imported = import_index(&export_index(&index, format)).unwrap();
+        assert_eq!(imported.checksummed_points, 0, "{format}");
+        let mut reader = indexed_reader(&corrupted, imported.index, VerificationMode::Full);
+        reader.seek(SeekFrom::Start(span.start as u64)).unwrap();
+        let mut buffer = vec![0u8; span.len()];
+        reader
+            .read_exact(&mut buffer)
+            .unwrap_or_else(|e| panic!("{format}: fragment-less read should complete: {e}"));
+        assert_ne!(
+            &buffer[..],
+            &data[span.clone()],
+            "{format}: the flip vanished from the output"
+        );
+        let statistics = reader.verification_statistics();
+        assert_eq!(
+            statistics.index_chunks_verified, 0,
+            "{format}: {statistics:?}"
+        );
+        assert!(
+            statistics.index_chunks_unverified > 0,
+            "{format}: {statistics:?}"
+        );
+    }
+}
+
+#[test]
+fn decompress_all_counts_each_index_chunk_exactly_once() {
+    // Regression for the `index_chunks` double count: a chunk whose
+    // prefetched data was consumed used to be counted again by the
+    // surrounding bookkeeping.  After a full sequential read through an
+    // imported index, the per-chunk counters must sum to the chunk count.
+    let data = datagen::base64_random(800_000, 203);
+    let compressed = GzipWriter::default().compress(&data);
+    let index = build_index(&compressed);
+    let chunk_count = index.block_map.len() as u64;
+
+    for format in [IndexFormat::V2, IndexFormat::V3] {
+        let imported = GzipIndex::import(&index.export_as(format)).unwrap();
+        let mut reader = indexed_reader(&compressed, imported, VerificationMode::Full);
+        assert_eq!(reader.decompress_all().unwrap(), data);
+        let statistics = reader.statistics();
+        assert_eq!(
+            statistics.index_chunks, chunk_count,
+            "{format:?}: {statistics:?}"
+        );
+        assert_eq!(
+            statistics.index_chunks_verified + statistics.index_chunks_unverified,
+            chunk_count,
+            "{format:?}: {statistics:?}"
+        );
+    }
+}
+
+#[test]
+fn a_lying_index_is_an_error_not_a_panic() {
+    // Regression for the `data.len() - chunk_offset` underflow: an index
+    // whose seek point claims a larger span than the chunk actually decodes
+    // must surface as `IndexMismatch`, not an arithmetic panic.
+    const N: u64 = 200_000;
+    let data = datagen::silesia_like(2 * N as usize, 204);
+    let compressed = GzipWriter::default().compress(&data);
+
+    let mut index = GzipIndex::new();
+    index.compressed_size = compressed.len() as u64;
+    // Truthful point covering the real stream…
+    index.add_seek_point(
+        SeekPoint {
+            compressed_bit_offset: 0,
+            uncompressed_offset: 0,
+            uncompressed_size: 2 * N,
+        },
+        &[],
+    );
+    // …and a lying one that claims the same chunk also covers 2N..5N.
+    index.add_seek_point(
+        SeekPoint {
+            compressed_bit_offset: 0,
+            uncompressed_offset: 2 * N,
+            uncompressed_size: 3 * N,
+        },
+        &[],
+    );
+    index.uncompressed_size = 5 * N;
+
+    // One whole-file chunk, so the truthful point really decodes its full
+    // claimed span in a single piece.
+    let mut reader = ParallelGzipReader::with_index(
+        rapidgzip_suite::io::SharedFileReader::from_bytes(compressed.clone()),
+        ParallelGzipReaderOptions {
+            parallelization: 2,
+            chunk_size: 4 << 20,
+            resolved_cache_chunks: 1,
+            ..Default::default()
+        },
+        index,
+    )
+    .unwrap();
+    // The first read may fail outright: the index-aligned prefetcher plans
+    // the *next* chunk, which is the lying point, and its own length check
+    // rejects the decode.  Either way it must not panic, and it leaves the
+    // prefetcher quiet for the population read below.
+    let mut buffer = vec![0u8; 4096];
+    let _ = reader.read(&mut buffer);
+    // Populate the chunk cache through the truthful point, so the final
+    // read hits the cached (shorter-than-claimed) data.
+    reader.seek(SeekFrom::Start(0)).unwrap();
+    reader.read_exact(&mut buffer).unwrap();
+    assert_eq!(&buffer[..], &data[..4096]);
+
+    reader.seek(SeekFrom::Start(4 * N + 10)).unwrap();
+    let error = reader
+        .read_exact(&mut buffer)
+        .expect_err("lying index must error");
+    assert!(
+        error.to_string().contains("does not match"),
+        "expected an index mismatch, got: {error}"
+    );
+}
