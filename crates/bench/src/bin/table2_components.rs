@@ -7,6 +7,8 @@
 //! `speedup_*` metrics are the machine-independent ratios the CI `perf-smoke`
 //! job gates on.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rgz_bench::*;
@@ -15,10 +17,12 @@ use rgz_blockfinder::{
     BlockFinder, CustomParseFinder, DynamicBlockFinder, PugzLikeFinder, SkipLutFinder,
     TrialInflateFinder, UncompressedBlockFinder,
 };
+use rgz_core::{ParallelGzipReader, ParallelGzipReaderOptions};
 use rgz_deflate::{
     inflate, inflate_single_symbol, replace_markers, CompressorOptions, DeflateCompressor,
     MARKER_BASE,
 };
+use rgz_trace::{chrome_trace_json, MetricsReport, TraceSink};
 
 fn row(
     report: &mut JsonReport,
@@ -207,6 +211,68 @@ fn main() {
         payload.len(),
         duration,
     );
+
+    // Trace overhead: the same parallel decompression with the structured
+    // event layer enabled versus the default disabled sink.  The runs are
+    // interleaved so machine drift hits both sides equally, and the ratio
+    // (a machine-independent number) is gated by the `trace_overhead_ratio`
+    // floor in bench/baseline.json.
+    let corpus = rgz_datagen::fastq_of_size(scaled(24 << 20, 3 << 20), 9);
+    let compressed = rgz_gzip::GzipWriter::default().compress(&corpus);
+    let decode = |trace: Option<Arc<TraceSink>>| {
+        let mut options = ParallelGzipReaderOptions {
+            parallelization: available_cores().min(4),
+            chunk_size: 256 * 1024,
+            ..Default::default()
+        };
+        if let Some(trace) = trace {
+            options = options.with_trace(trace);
+        }
+        let mut reader = ParallelGzipReader::from_bytes(compressed.clone(), options).unwrap();
+        reader.decompress_all().unwrap()
+    };
+    assert_eq!(decode(None), corpus, "parallel decode must round-trip");
+    let sink = Arc::new(TraceSink::new_enabled());
+    let mut best_untraced = std::time::Duration::MAX;
+    let mut best_traced = std::time::Duration::MAX;
+    for _ in 0..repetitions().max(3) {
+        let (_, duration) = time(|| decode(None));
+        best_untraced = best_untraced.min(duration);
+        let (_, duration) = time(|| decode(Some(sink.clone())));
+        best_traced = best_traced.min(duration);
+    }
+    let untraced = row(
+        &mut report,
+        json,
+        "Parallel decode (no trace)",
+        "decompress_untraced_mb_s",
+        corpus.len(),
+        best_untraced,
+    );
+    let traced = row(
+        &mut report,
+        json,
+        "Parallel decode (traced)",
+        "decompress_traced_mb_s",
+        corpus.len(),
+        best_traced,
+    );
+    let overhead_ratio = traced / untraced;
+    if !json {
+        println!(
+            "{:<28} {:>15.3}x",
+            "  traced/untraced ratio", overhead_ratio
+        );
+    }
+    report.record("trace_overhead_ratio", overhead_ratio);
+    // The aggregated pipeline metrics ride along in the JSON report, and the
+    // raw trace can be kept as a CI artifact.
+    report.record_block("trace_", &MetricsReport::from_sink(&sink).flat_metrics());
+    if let Ok(path) = std::env::var("RGZ_TRACE_OUT") {
+        std::fs::write(&path, chrome_trace_json(&sink))
+            .unwrap_or_else(|e| panic!("cannot write trace to {path}: {e}"));
+        eprintln!("# wrote pipeline trace to {path}");
+    }
 
     if json {
         report.emit();

@@ -63,6 +63,15 @@ impl JsonReport {
         self.metrics.insert(key.to_string(), value);
     }
 
+    /// Records a whole block of metrics under a common key prefix — used to
+    /// fold an `rgz_trace::MetricsReport::flat_metrics()` map into a bench
+    /// report.
+    pub fn record_block(&mut self, prefix: &str, metrics: &BTreeMap<String, f64>) {
+        for (key, value) in metrics {
+            self.record(&format!("{prefix}{key}"), *value);
+        }
+    }
+
     /// Renders the one-line JSON document.
     pub fn to_json(&self) -> String {
         let mut out = String::new();

@@ -21,6 +21,13 @@
 //!       --no-verify           skip checksum verification (faster, but silent
 //!                             corruption goes undetected)
 //!       --serial              use the single-threaded decoder (baseline)
+//!       --trace <PATH>        record per-chunk pipeline events and write them
+//!                             as Chrome trace-event JSON to PATH (load in
+//!                             ui.perfetto.dev or chrome://tracing)
+//!       --metrics[=json]      print an aggregated metrics report (per-stage
+//!                             latency percentiles, worker utilization,
+//!                             speculation waste, prefetch hit rate) to stderr;
+//!                             `=json` emits one machine-readable JSON line
 //!   -v, --verbose             print reader statistics and index/window
 //!                             memory usage to stderr after the run
 //!   -o, --output <PATH>       write output to PATH instead of stdout
@@ -29,10 +36,18 @@
 
 use std::io::Write;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use rgz_core::{ParallelGzipReader, ParallelGzipReaderOptions, VerificationMode};
 use rgz_interop::AnyIndexFormat;
 use rgz_io::SharedFileReader;
+use rgz_trace::{chrome_trace_json, MetricsReport, Outcome, Stage, TraceSink};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum MetricsFormat {
+    Text,
+    Json,
+}
 
 struct Options {
     file: String,
@@ -46,6 +61,8 @@ struct Options {
     serial: bool,
     verbose: bool,
     output: Option<String>,
+    trace: Option<String>,
+    metrics: Option<MetricsFormat>,
 }
 
 fn print_usage() {
@@ -53,6 +70,7 @@ fn print_usage() {
     eprintln!("             [--export-index PATH] [--import-index PATH]");
     eprintln!("             [--index-format v1|v2|v3|gztool|indexed-gzip]");
     eprintln!("             [--verify|--no-verify] [--serial] [-v]");
+    eprintln!("             [--trace PATH] [--metrics[=json]]");
     eprintln!("             [-o OUTPUT] FILE");
 }
 
@@ -72,6 +90,8 @@ fn parse_arguments() -> Result<Options, String> {
         serial: false,
         verbose: false,
         output: None,
+        trace: None,
+        metrics: None,
     };
     let next_value = |arguments: &mut dyn Iterator<Item = String>, flag: &str| {
         arguments
@@ -112,6 +132,11 @@ fn parse_arguments() -> Result<Options, String> {
             "-o" | "--output" => {
                 options.output = Some(next_value(&mut arguments, "-o")?);
             }
+            "--trace" => {
+                options.trace = Some(next_value(&mut arguments, "--trace")?);
+            }
+            "--metrics" | "--metrics=text" => options.metrics = Some(MetricsFormat::Text),
+            "--metrics=json" => options.metrics = Some(MetricsFormat::Json),
             other if !other.starts_with('-') && options.file.is_empty() => {
                 options.file = other.to_string();
             }
@@ -127,6 +152,15 @@ fn parse_arguments() -> Result<Options, String> {
 fn run(options: &Options) -> Result<(), String> {
     let start = std::time::Instant::now();
 
+    // One sink serves both decoder paths; it records nothing (a single
+    // relaxed atomic load per call site) unless tracing or metrics were
+    // requested.
+    let trace = if options.trace.is_some() || options.metrics.is_some() {
+        Arc::new(TraceSink::new_enabled())
+    } else {
+        Arc::new(TraceSink::new())
+    };
+
     let mut sink: Box<dyn Write> = match &options.output {
         Some(path) => Box::new(std::io::BufWriter::new(
             std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,
@@ -136,6 +170,10 @@ fn run(options: &Options) -> Result<(), String> {
 
     let total_bytes;
     let mut line_count = 0u64;
+    // Throughput is reported over the decode loop alone: file opening, index
+    // import and index export all happen outside this window, so the MB/s
+    // figure states what the decoder itself sustained.
+    let decode_elapsed;
 
     if options.serial {
         let compressed = std::fs::read(&options.file)
@@ -144,7 +182,19 @@ fn run(options: &Options) -> Result<(), String> {
         if options.verification == VerificationMode::Off {
             decoder = decoder.without_checksum_verification();
         }
-        let data = decoder.decompress(&compressed).map_err(|e| e.to_string())?;
+        let decode_start = std::time::Instant::now();
+        let mut span = trace.span(Stage::SerialDecode);
+        let result = decoder.decompress(&compressed);
+        match &result {
+            Ok(data) => {
+                span.set_bytes(data.len() as u64);
+                span.set_outcome(Outcome::Committed);
+            }
+            Err(_) => span.set_outcome(Outcome::Error),
+        }
+        span.finish();
+        decode_elapsed = decode_start.elapsed();
+        let data = result.map_err(|e| e.to_string())?;
         if options.verbose {
             eprintln!("rgzip: serial decoder: no chunk or index statistics");
         }
@@ -160,7 +210,8 @@ fn run(options: &Options) -> Result<(), String> {
             chunk_size: options.chunk_size_kib.max(4) * 1024,
             verification: options.verification,
             ..Default::default()
-        };
+        }
+        .with_trace(trace.clone());
         let shared = SharedFileReader::open(&options.file)
             .map_err(|e| format!("cannot open {}: {e}", options.file))?;
         let mut reader = match &options.import_index {
@@ -207,6 +258,7 @@ fn run(options: &Options) -> Result<(), String> {
         }
         .map_err(|e| e.to_string())?;
 
+        let decode_start = std::time::Instant::now();
         let mut buffer = vec![0u8; 4 << 20];
         let mut written = 0u64;
         loop {
@@ -221,6 +273,7 @@ fn run(options: &Options) -> Result<(), String> {
             }
             written += read as u64;
         }
+        decode_elapsed = decode_start.elapsed();
         total_bytes = written;
 
         if let Some(path) = &options.export_index {
@@ -253,6 +306,10 @@ fn run(options: &Options) -> Result<(), String> {
                 statistics.speculative_mismatches,
                 statistics.prefetches_issued,
                 statistics.index_chunks
+            );
+            eprintln!(
+                "rgzip: speculation waste: {} chunk(s) discarded, {} bytes decoded in vain",
+                statistics.speculative_chunks_wasted, statistics.speculative_bytes_wasted
             );
             eprintln!(
                 "rgzip: index-aligned prefetch: {} issued, {} hits",
@@ -297,16 +354,37 @@ fn run(options: &Options) -> Result<(), String> {
     }
 
     sink.flush().map_err(|e| e.to_string())?;
+
+    if let Some(path) = &options.trace {
+        let json = chrome_trace_json(&trace);
+        std::fs::write(path, json.as_bytes())
+            .map_err(|e| format!("cannot write trace {path}: {e}"))?;
+        eprintln!(
+            "rgzip: wrote {} trace events to {path} (load in ui.perfetto.dev)",
+            trace.event_count()
+        );
+    }
+    match options.metrics {
+        Some(MetricsFormat::Text) => {
+            eprint!("{}", MetricsReport::from_sink(&trace).render_text());
+        }
+        Some(MetricsFormat::Json) => {
+            eprintln!("{}", MetricsReport::from_sink(&trace).to_json());
+        }
+        None => {}
+    }
+
     let elapsed = start.elapsed();
     if options.count_lines {
         println!("{line_count}");
     }
     eprintln!(
-        "rgzip: {} bytes in {:.2} s ({:.1} MB/s, {} threads)",
+        "rgzip: {} bytes decoded in {:.2} s ({:.1} MB/s, {} threads); {:.2} s total",
         total_bytes,
-        elapsed.as_secs_f64(),
-        total_bytes as f64 / 1e6 / elapsed.as_secs_f64().max(1e-9),
-        if options.serial { 1 } else { options.threads }
+        decode_elapsed.as_secs_f64(),
+        total_bytes as f64 / 1e6 / decode_elapsed.as_secs_f64().max(1e-9),
+        if options.serial { 1 } else { options.threads },
+        elapsed.as_secs_f64()
     );
     Ok(())
 }

@@ -22,6 +22,7 @@ use rgz_blockfinder::{BlockFinder, CombinedBlockFinder};
 use rgz_deflate::{inflate, inflate_hashed, inflate_two_stage, DeflateError, StopReason};
 use rgz_gzip::{parse_footer, parse_header, GzipError, GzipFooter};
 use rgz_io::{FileReader, SharedFileReader};
+use rgz_trace::{Outcome, Stage, TraceSink};
 
 use crate::verify::ChunkFragment;
 use crate::CoreError;
@@ -46,6 +47,11 @@ pub struct ChunkResult {
     /// that end a member, the member's trailer.  The verification pipeline
     /// folds these in stream order.
     pub fragments: Vec<ChunkFragment>,
+    /// DEFLATE blocks the multi-symbol fast path routed through the
+    /// single-symbol reference decoder (see
+    /// [`rgz_deflate::InflateOutcome::fast_fallback_blocks`]); used to tag
+    /// decode spans with a *fallback* outcome.
+    pub fast_fallback_blocks: u32,
 }
 
 /// Result of a speculative (two-stage) chunk decode.
@@ -196,6 +202,7 @@ fn decode_direct_in_range(
     let mut data = Vec::new();
     let mut first_call = true;
     let mut reached_end_of_file = false;
+    let mut fast_fallback_blocks = 0u32;
     let mut window_usage = Vec::new();
     // One inflate call never crosses a member boundary, so each iteration
     // contributes exactly one CRC fragment.
@@ -210,6 +217,7 @@ fn decode_direct_in_range(
             inflate(&mut reader, call_window, &mut data, relative_stop)
         }
         .map_err(CoreError::Deflate)?;
+        fast_fallback_blocks += outcome.fast_fallback_blocks;
         if window_usage.is_empty() {
             // Only the first member of the chunk can reference the preceding
             // window; later inflate calls get an empty window.
@@ -250,6 +258,7 @@ fn decode_direct_in_range(
         reached_end_of_file,
         window_usage,
         fragments,
+        fast_fallback_blocks,
     })
 }
 
@@ -257,10 +266,27 @@ fn decode_direct_in_range(
 /// `guess_index * chunk_size` bytes, using the block finder and two-stage
 /// decoding.  Returns `Ok(None)` if no DEFLATE block could be found inside
 /// the guessed chunk range.
+#[cfg_attr(not(test), allow(dead_code))]
 pub fn decode_speculative_chunk(
     reader: &SharedFileReader,
     chunk_size: usize,
     guess_index: usize,
+) -> Result<Option<SpeculativeChunk>, CoreError> {
+    decode_speculative_chunk_traced(
+        reader,
+        chunk_size,
+        guess_index,
+        &TraceSink::shared_disabled(),
+    )
+}
+
+/// [`decode_speculative_chunk`] with block-find and two-stage decode spans
+/// recorded into `trace` (chunk id = the guessed bit offset).
+pub fn decode_speculative_chunk_traced(
+    reader: &SharedFileReader,
+    chunk_size: usize,
+    guess_index: usize,
+    trace: &TraceSink,
 ) -> Result<Option<SpeculativeChunk>, CoreError> {
     let file_size = reader.size();
     let guess_byte = (guess_index as u64) * chunk_size as u64;
@@ -276,7 +302,7 @@ pub fn decode_speculative_chunk(
         let range = read_compressed_range(reader, guess_byte, range_end - guess_byte)?;
         let range_covers_file_end = guess_byte + range.len() as u64 >= file_size;
 
-        match decode_speculative_in_range(&range, guess_byte, guess_bit, stop_bit) {
+        match decode_speculative_in_range(&range, guess_byte, guess_bit, stop_bit, trace) {
             SpeculativeOutcome::Found(chunk) => return Ok(Some(chunk)),
             SpeculativeOutcome::NoBlock => return Ok(None),
             SpeculativeOutcome::NeedMoreData if !range_covers_file_end => {
@@ -298,6 +324,7 @@ fn decode_speculative_in_range(
     range_start_byte: u64,
     guess_bit: u64,
     stop_bit: u64,
+    trace: &TraceSink,
 ) -> SpeculativeOutcome {
     let range_start_bits = range_start_byte * 8;
     let relative_guess = guess_bit - range_start_bits;
@@ -306,16 +333,34 @@ fn decode_speculative_in_range(
 
     let mut search_from = relative_guess;
     loop {
-        let Some(candidate) = finder.find_next(range, search_from) else {
-            return SpeculativeOutcome::NoBlock;
+        let candidate = {
+            let mut span = trace.span(Stage::BlockFind).chunk(guess_bit);
+            match finder.find_next(range, search_from) {
+                // The first candidate block may already belong to the next
+                // chunk, in which case this chunk has nothing to offer.
+                Some(candidate) if candidate < relative_stop => candidate,
+                _ => {
+                    span.set_outcome(Outcome::NotFound);
+                    return SpeculativeOutcome::NoBlock;
+                }
+            }
         };
-        if candidate >= relative_stop {
-            // The first candidate block already belongs to the next chunk.
-            return SpeculativeOutcome::NoBlock;
-        }
 
+        let mut span = trace
+            .span(Stage::DecodeTwoStage)
+            .chunk(guess_bit)
+            .compressed_range(
+                range_start_byte + candidate / 8,
+                range_start_byte + range.len() as u64,
+            );
         match try_speculative_decode(range, candidate, relative_stop) {
             Ok((symbols, end_position, block_count, reached_end_of_file, member_ends)) => {
+                span.set_bytes(symbols.len() as u64);
+                span.set_compressed_range(
+                    range_start_byte + candidate / 8,
+                    range_start_byte + end_position.div_ceil(8),
+                );
+                span.finish();
                 return SpeculativeOutcome::Found(SpeculativeChunk {
                     requested_bit_offset: guess_bit,
                     found_bit_offset: range_start_bits + candidate,
@@ -329,10 +374,12 @@ fn decode_speculative_in_range(
             Err(error) if is_eof_like(&error) => {
                 // Could be a genuine block whose data extends past the range
                 // we read: ask the caller for more data.
+                span.set_outcome(Outcome::Error);
                 return SpeculativeOutcome::NeedMoreData;
             }
             Err(_) => {
                 // False positive: try the next candidate.
+                span.set_outcome(Outcome::NotFound);
                 search_from = candidate + 1;
             }
         }

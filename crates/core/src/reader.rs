@@ -10,8 +10,9 @@ use rgz_deflate::{replace_markers, replace_markers_hashed, resolve_window, Windo
 use rgz_fetcher::{Cache, IndexAlignedPlan, TaskHandle, ThreadPool};
 use rgz_index::{GzipIndex, PointChecksums, SeekPoint, WINDOW_SIZE};
 use rgz_io::{FileReader, SharedFileReader};
+use rgz_trace::{instants, EventMeta, Outcome, Stage, TraceSink};
 
-use crate::chunk::{decode_chunk_at, decode_speculative_chunk, SpeculativeChunk};
+use crate::chunk::{decode_chunk_at, decode_speculative_chunk_traced, SpeculativeChunk};
 use crate::verify::{
     check_point_fragments, ChunkFragment, StreamVerifier, VerificationMode, VerificationStatistics,
 };
@@ -35,6 +36,10 @@ pub struct ParallelGzipReaderOptions {
     /// decompressed byte on the worker threads and folds the per-chunk CRCs
     /// in stream order with `crc32_combine`.
     pub verification: VerificationMode,
+    /// Structured event sink every pipeline stage records into.  `None` (the
+    /// default) uses the process-wide disabled sink, whose per-record cost is
+    /// a single atomic load.
+    pub trace: Option<Arc<TraceSink>>,
 }
 
 impl Default for ParallelGzipReaderOptions {
@@ -47,6 +52,7 @@ impl Default for ParallelGzipReaderOptions {
             prefetch_degree: None,
             resolved_cache_chunks: 4,
             verification: VerificationMode::default(),
+            trace: None,
         }
     }
 }
@@ -69,6 +75,12 @@ impl ParallelGzipReaderOptions {
     /// Sets the checksum verification mode.
     pub fn with_verification(mut self, verification: VerificationMode) -> Self {
         self.verification = verification;
+        self
+    }
+
+    /// Attaches a trace sink; every pipeline stage records spans into it.
+    pub fn with_trace(mut self, trace: Arc<TraceSink>) -> Self {
+        self.trace = Some(trace);
         self
     }
 
@@ -109,6 +121,15 @@ pub struct ReaderStatistics {
     /// foreign imports) — completed *unverified* even under
     /// [`VerificationMode::Full`].
     pub index_chunks_unverified: u64,
+    /// Speculatively decoded chunks whose result was discarded without ever
+    /// being committed: block-finder false positives consumed at a boundary
+    /// mismatch, plus finished results that became stale once the sequential
+    /// pass moved past them.
+    pub speculative_chunks_wasted: u64,
+    /// Output symbols (1:1 with uncompressed bytes) decoded in vain by the
+    /// wasted speculative chunks above — the paper's speculation-waste cost,
+    /// previously invisible.
+    pub speculative_bytes_wasted: u64,
 }
 
 /// State of the sequential first pass.
@@ -167,6 +188,7 @@ pub struct ParallelGzipReader {
     reader: SharedFileReader,
     options: ParallelGzipReaderOptions,
     pool: Arc<ThreadPool>,
+    trace: Arc<TraceSink>,
     state: Mutex<ReaderState>,
     /// Stream-ordered CRC fold; shared with the worker threads, which submit
     /// their chunk's fragments as soon as marker replacement finishes.
@@ -191,13 +213,19 @@ impl ParallelGzipReader {
         options: ParallelGzipReaderOptions,
     ) -> Result<Self, CoreError> {
         let parallelization = options.parallelization.max(1);
-        let pool = Arc::new(ThreadPool::new(parallelization));
+        let trace = options
+            .trace
+            .clone()
+            .unwrap_or_else(TraceSink::shared_disabled);
+        let pool = Arc::new(ThreadPool::new_traced(parallelization, trace.clone()));
         let mut index = GzipIndex::new();
         index.compressed_size = reader.size();
         // Seek-point windows compress on the shared pool as they are stored.
         index.window_map.set_pool(pool.clone());
+        index.window_map.set_trace(trace.clone());
         Ok(Self {
             pool,
+            trace,
             verifier: Arc::new(Mutex::new(StreamVerifier::new(options.verification))),
             state: Mutex::new(ReaderState {
                 index,
@@ -257,6 +285,7 @@ impl ParallelGzipReader {
             state.pass.next_uncompressed_offset = uncompressed_size;
             state.index = index;
             state.index.window_map.set_pool(this.pool.clone());
+            state.index.window_map.set_trace(this.trace.clone());
             if state.index.uncompressed_size == 0 {
                 state.index.uncompressed_size = state.index.effective_uncompressed_size();
                 state.pass.next_uncompressed_offset = state.index.uncompressed_size;
@@ -274,6 +303,12 @@ impl ParallelGzipReader {
     /// The options this reader was created with.
     pub fn options(&self) -> &ParallelGzipReaderOptions {
         &self.options
+    }
+
+    /// The trace sink this reader records into (the process-wide disabled
+    /// sink unless one was attached via the options).
+    pub fn trace(&self) -> &Arc<TraceSink> {
+        &self.trace
     }
 
     /// Behaviour counters.
@@ -466,56 +501,99 @@ impl ParallelGzipReader {
                 let member_ends = chunk.member_ends;
                 members_ended = member_ends.len() as u64;
                 let verifier = self.verifier.clone();
+                let trace = self.trace.clone();
                 // The checksum map shares storage with the index (and holds
                 // no pool reference), so the worker can record this seek
                 // point's fragments for verified random access later.
                 let checksum_map = self.state.lock().index.checksum_map.clone();
                 let handle = self.pool.submit(move || {
-                    if verify {
+                    let mut span = trace
+                        .span(Stage::MarkerReplace)
+                        .chunk(start_bit)
+                        .member(first_member);
+                    span.set_bytes(symbols.len() as u64);
+                    let result = if verify {
                         // Hash the resolved bytes per member fragment right
                         // here on the worker, then hand the fragments to the
                         // stream-ordered fold.
                         let ends: Vec<usize> =
                             member_ends.iter().map(|&(end, _)| end as usize).collect();
-                        let (data, crcs) = replace_markers_hashed(&symbols, &window_clone, &ends)
-                            .map_err(CoreError::Deflate)?;
-                        let mut fragments = Vec::with_capacity(crcs.len());
-                        let mut start = 0u64;
-                        for (index, crc32) in crcs.into_iter().enumerate() {
-                            let (length, trailer) = match member_ends.get(index) {
-                                Some(&(end, footer)) => (end - start, Some(footer)),
-                                None => (data.len() as u64 - start, None),
-                            };
-                            fragments.push(ChunkFragment {
-                                crc32,
-                                length,
-                                trailer,
-                            });
-                            start += length;
-                        }
-                        checksum_map.insert(
-                            start_bit,
-                            PointChecksums::from_fragments(
-                                first_member,
-                                fragments.iter().map(|f| (f.crc32, f.length)),
-                            ),
-                        );
-                        verifier.lock().submit(seq, fragments);
-                        Ok(data)
+                        replace_markers_hashed(&symbols, &window_clone, &ends)
+                            .map_err(CoreError::Deflate)
+                            .map(|(data, crcs)| {
+                                let mut fragments = Vec::with_capacity(crcs.len());
+                                let mut start = 0u64;
+                                for (index, crc32) in crcs.into_iter().enumerate() {
+                                    let (length, trailer) = match member_ends.get(index) {
+                                        Some(&(end, footer)) => (end - start, Some(footer)),
+                                        None => (data.len() as u64 - start, None),
+                                    };
+                                    fragments.push(ChunkFragment {
+                                        crc32,
+                                        length,
+                                        trailer,
+                                    });
+                                    start += length;
+                                }
+                                checksum_map.insert(
+                                    start_bit,
+                                    PointChecksums::from_fragments(
+                                        first_member,
+                                        fragments.iter().map(|f| (f.crc32, f.length)),
+                                    ),
+                                );
+                                {
+                                    let _fold = trace.span(Stage::CrcFold).chunk(start_bit);
+                                    verifier.lock().submit(seq, fragments);
+                                }
+                                data
+                            })
                     } else {
                         replace_markers(&symbols, &window_clone).map_err(CoreError::Deflate)
-                    }
+                    };
+                    span.set_outcome(match &result {
+                        Ok(_) => Outcome::Committed,
+                        Err(_) => Outcome::Error,
+                    });
+                    result
                 });
                 data_handle = ChunkData::Pending(handle);
+                self.trace.instant(
+                    instants::SPEC_COMMIT,
+                    EventMeta {
+                        chunk: Some(start_bit),
+                        member: Some(first_member),
+                        bytes: Some(chunk_length),
+                        ..EventMeta::default()
+                    },
+                );
                 self.state.lock().statistics.speculative_chunks_used += 1;
             }
             other => {
-                if other.is_some() {
-                    self.state.lock().statistics.speculative_mismatches += 1;
+                if let Some(wasted) = other {
+                    let wasted_bytes = wasted.symbols.len() as u64;
+                    let mut state = self.state.lock();
+                    state.statistics.speculative_mismatches += 1;
+                    state.statistics.speculative_chunks_wasted += 1;
+                    state.statistics.speculative_bytes_wasted += wasted_bytes;
+                    drop(state);
+                    self.trace.instant(
+                        instants::SPEC_WASTE,
+                        EventMeta {
+                            chunk: Some(wasted.found_bit_offset),
+                            bytes: Some(wasted_bytes),
+                            ..EventMeta::default()
+                        },
+                    );
                 }
                 // Decode on demand with the known window (first chunk, false
                 // positive, or no speculative result available).
-                let mut result = decode_chunk_at(
+                let mut span = self
+                    .trace
+                    .span(Stage::DecodeOneStage)
+                    .chunk(start_bit)
+                    .member(first_member);
+                let mut result = match decode_chunk_at(
                     &self.reader,
                     start_bit,
                     stop_bit,
@@ -523,7 +601,23 @@ impl ParallelGzipReader {
                     start_bit == 0,
                     self.options.chunk_size,
                     verify,
-                )?;
+                ) {
+                    Ok(result) => {
+                        span.set_bytes(result.data.len() as u64);
+                        span.set_compressed_range(start_bit / 8, result.end_bit_offset.div_ceil(8));
+                        span.set_outcome(if result.fast_fallback_blocks > 0 {
+                            Outcome::Fallback
+                        } else {
+                            Outcome::Committed
+                        });
+                        span.finish();
+                        result
+                    }
+                    Err(error) => {
+                        span.set_outcome(Outcome::Error);
+                        return Err(error);
+                    }
+                };
                 members_ended = result
                     .fragments
                     .iter()
@@ -537,6 +631,7 @@ impl ParallelGzipReader {
                             result.fragments.iter().map(|f| (f.crc32, f.length)),
                         ),
                     );
+                    let _fold = self.trace.span(Stage::CrcFold).chunk(start_bit);
                     self.verifier
                         .lock()
                         .submit(seq, std::mem::take(&mut result.fragments));
@@ -579,12 +674,57 @@ impl ParallelGzipReader {
             state.pass.finished = true;
             state.index.uncompressed_size = state.index.block_map.uncompressed_size();
         }
-        // Drop stale speculative results that can never match again.
+        // Drop stale speculative results that can never match again, counting
+        // each one as wasted speculation work.
         let next_start = state.pass.next_start_bit;
-        state
+        let stale: Vec<u64> = state
             .speculative_ready
-            .retain(|&found, _| found >= next_start);
+            .keys()
+            .copied()
+            .filter(|&found| found < next_start)
+            .collect();
+        let mut wasted_events: Vec<(u64, u64)> = Vec::with_capacity(stale.len());
+        for found in stale {
+            if let Some(chunk) = state.speculative_ready.remove(&found) {
+                let bytes = chunk.symbols.len() as u64;
+                state.statistics.speculative_chunks_wasted += 1;
+                state.statistics.speculative_bytes_wasted += bytes;
+                wasted_events.push((found, bytes));
+            }
+        }
+        // At the end of the pass, harvest any speculative task that already
+        // finished: its result can never be committed, so it is pure waste.
+        // Tasks still genuinely in flight are left to complete on the pool and
+        // are dropped unharvested (their cost is not attributable yet).
+        if state.pass.finished {
+            let finished: Vec<usize> = state
+                .speculative_pending
+                .iter()
+                .filter(|(_, handle)| handle.is_finished())
+                .map(|(&index, _)| index)
+                .collect();
+            for index in finished {
+                if let Some(handle) = state.speculative_pending.remove(&index) {
+                    if let Some(Ok(Ok(Some(chunk)))) = handle.try_wait() {
+                        let bytes = chunk.symbols.len() as u64;
+                        state.statistics.speculative_chunks_wasted += 1;
+                        state.statistics.speculative_bytes_wasted += bytes;
+                        wasted_events.push((chunk.found_bit_offset, bytes));
+                    }
+                }
+            }
+        }
         drop(state);
+        for (found, bytes) in wasted_events {
+            self.trace.instant(
+                instants::SPEC_WASTE,
+                EventMeta {
+                    chunk: Some(found),
+                    bytes: Some(bytes),
+                    ..EventMeta::default()
+                },
+            );
+        }
         // Surface any mismatch the fold has found so far (an on-demand chunk
         // submits synchronously; speculative workers may have reported a
         // failure from an earlier chunk by now).
@@ -658,11 +798,19 @@ impl ParallelGzipReader {
             }
             state.speculative_issued.insert(guess);
             state.statistics.prefetches_issued += 1;
+            self.trace.instant(
+                instants::SPEC_SUBMIT,
+                EventMeta {
+                    chunk: Some(guess as u64 * chunk_bits),
+                    ..EventMeta::default()
+                },
+            );
             let reader = self.reader.clone();
             let chunk_size = self.options.chunk_size;
-            let handle = self
-                .pool
-                .submit(move || decode_speculative_chunk(&reader, chunk_size, guess));
+            let trace = self.trace.clone();
+            let handle = self.pool.submit(move || {
+                decode_speculative_chunk_traced(&reader, chunk_size, guess, &trace)
+            });
             state.speculative_pending.insert(guess, handle);
         }
     }
@@ -738,6 +886,13 @@ impl ParallelGzipReader {
                 if finished {
                     state.chunk_data.remove(&key);
                     state.index_prefetched.remove(&key);
+                    self.trace.instant(
+                        instants::PREFETCH_EVICT,
+                        EventMeta {
+                            chunk: Some(key),
+                            ..EventMeta::default()
+                        },
+                    );
                 }
             }
             if state
@@ -791,30 +946,53 @@ impl ParallelGzipReader {
             let reader = self.reader.clone();
             let chunk_size = self.options.chunk_size;
             let expected_length = point.uncompressed_size;
+            let trace = self.trace.clone();
+            self.trace.instant(
+                instants::PREFETCH_ISSUE,
+                EventMeta {
+                    chunk: Some(key),
+                    bytes: Some(expected_length),
+                    ..EventMeta::default()
+                },
+            );
             let handle = self.pool.submit(move || {
-                let window = match &record {
-                    Some(record) => record.decompress().map_err(CoreError::Window)?,
-                    None => Vec::new(),
-                };
-                let hashed = checksums.is_some();
-                let result = decode_chunk_at(
-                    &reader,
-                    key,
-                    stop_bit,
-                    &window,
-                    key == 0,
-                    chunk_size,
-                    hashed,
-                )?;
-                if result.data.len() as u64 != expected_length {
-                    return Err(CoreError::IndexMismatch {
-                        compressed_bit_offset: key,
-                    });
+                let mut span = trace.span(Stage::PrefetchDecode).chunk(key);
+                let result = (|| {
+                    let window = match &record {
+                        Some(record) => {
+                            let _inflate = trace.span(Stage::WindowInflate).chunk(key);
+                            record.decompress().map_err(CoreError::Window)?
+                        }
+                        None => Vec::new(),
+                    };
+                    let hashed = checksums.is_some();
+                    let result = decode_chunk_at(
+                        &reader,
+                        key,
+                        stop_bit,
+                        &window,
+                        key == 0,
+                        chunk_size,
+                        hashed,
+                    )?;
+                    if result.data.len() as u64 != expected_length {
+                        return Err(CoreError::IndexMismatch {
+                            compressed_bit_offset: key,
+                        });
+                    }
+                    if let Some(checksums) = &checksums {
+                        check_point_fragments(checksums, &result.fragments)?;
+                    }
+                    Ok(result.data)
+                })();
+                match &result {
+                    Ok(data) => {
+                        span.set_bytes(data.len() as u64);
+                        span.set_outcome(Outcome::Committed);
+                    }
+                    Err(_) => span.set_outcome(Outcome::Error),
                 }
-                if let Some(checksums) = &checksums {
-                    check_point_fragments(checksums, &result.fragments)?;
-                }
-                Ok(result.data)
+                result
             });
             let mut state = self.state.lock();
             state.chunk_data.insert(key, ChunkData::Pending(handle));
@@ -859,6 +1037,13 @@ impl ParallelGzipReader {
                         state.statistics.index_prefetch_hits += 1;
                         state.statistics.index_chunks += 1;
                         self.count_fast_path_verification(&mut state, key);
+                        self.trace.instant(
+                            instants::PREFETCH_HIT,
+                            EventMeta {
+                                chunk: Some(key),
+                                ..EventMeta::default()
+                            },
+                        );
                     }
                     state.resolved_cache.insert(key, data.clone());
                     return Ok(data);
@@ -868,6 +1053,13 @@ impl ParallelGzipReader {
                         state.statistics.index_prefetch_hits += 1;
                         state.statistics.index_chunks += 1;
                         self.count_fast_path_verification(&mut state, key);
+                        self.trace.instant(
+                            instants::PREFETCH_HIT,
+                            EventMeta {
+                                chunk: Some(key),
+                                ..EventMeta::default()
+                            },
+                        );
                     }
                     drop(state);
                     // A prefetched chunk with stored fragments has compared
@@ -913,7 +1105,18 @@ impl ParallelGzipReader {
         // fragments (format v3), hash the output and compare against them.
         // Without stored fragments (v1/v2 files, foreign imports) the decode
         // completes unverified and is counted as such.
-        let result = decode_chunk_at(
+        self.trace.instant(
+            instants::PREFETCH_MISS,
+            EventMeta {
+                chunk: Some(key),
+                ..EventMeta::default()
+            },
+        );
+        let mut span = self.trace.span(Stage::RandomAccess).chunk(key);
+        if let Some(checksums) = &checksums {
+            span.set_member(checksums.first_member);
+        }
+        let result = match decode_chunk_at(
             &self.reader,
             key,
             stop_bit,
@@ -921,15 +1124,29 @@ impl ParallelGzipReader {
             key == 0,
             self.options.chunk_size,
             checksums.is_some(),
-        )?;
+        ) {
+            Ok(result) => result,
+            Err(error) => {
+                span.set_outcome(Outcome::Error);
+                return Err(error);
+            }
+        };
+        span.set_bytes(result.data.len() as u64);
+        span.set_compressed_range(key / 8, result.end_bit_offset.div_ceil(8));
         if result.data.len() as u64 != point.uncompressed_size {
+            span.set_outcome(Outcome::Error);
             return Err(CoreError::IndexMismatch {
                 compressed_bit_offset: key,
             });
         }
         if let Some(checksums) = &checksums {
-            check_point_fragments(checksums, &result.fragments)?;
+            if let Err(error) = check_point_fragments(checksums, &result.fragments) {
+                span.set_outcome(Outcome::Error);
+                return Err(error);
+            }
         }
+        span.set_outcome(Outcome::Committed);
+        span.finish();
         let data = Arc::new(result.data);
         let mut state = self.state.lock();
         state.statistics.index_chunks += 1;
@@ -1476,5 +1693,186 @@ mod tests {
                 .unwrap();
         assert_eq!(reader.decompress_all().unwrap(), Vec::<u8>::new());
         assert_eq!(reader.uncompressed_size(), Some(0));
+    }
+
+    #[test]
+    fn traced_parallel_decompress_records_pipeline_spans() {
+        use rgz_trace::{EventKind, MetricsReport};
+
+        let data = fastq_records(20_000, 70);
+        let compressed = GzipWriter::default().compress(&data);
+        let trace = Arc::new(TraceSink::new_enabled());
+        let mut reader = ParallelGzipReader::from_bytes(
+            compressed,
+            options(4, 64 * 1024).with_trace(trace.clone()),
+        )
+        .unwrap();
+        assert_eq!(reader.decompress_all().unwrap(), data);
+        let statistics = reader.statistics();
+        assert!(statistics.speculative_chunks_used > 0, "{statistics:?}");
+
+        // Every pipeline stage the sequential pass exercises must show up,
+        // and each track's spans must be recorded in completion order.
+        let snapshot = trace.snapshot();
+        let mut seen = std::collections::HashSet::new();
+        for track in &snapshot {
+            let mut last_end = 0u64;
+            for event in &track.events {
+                if let EventKind::Span {
+                    stage,
+                    start_us,
+                    duration_us,
+                    ..
+                } = event.kind
+                {
+                    seen.insert(stage.name());
+                    let end = start_us + duration_us;
+                    assert!(
+                        end >= last_end,
+                        "span end times must be monotonic per track ({})",
+                        track.name
+                    );
+                    last_end = end;
+                }
+            }
+        }
+        for stage in [
+            Stage::BlockFind,
+            Stage::DecodeTwoStage,
+            Stage::DecodeOneStage,
+            Stage::MarkerReplace,
+            Stage::CrcFold,
+            Stage::TaskWait,
+        ] {
+            assert!(
+                seen.contains(stage.name()),
+                "missing {} spans",
+                stage.name()
+            );
+        }
+
+        // The aggregated report must reconcile with the reader's own
+        // statistics: both count the same commit/waste events.
+        let report = MetricsReport::from_sink(&trace);
+        assert!(report.wall_us > 0);
+        assert_eq!(
+            report.speculation.committed_chunks,
+            statistics.speculative_chunks_used
+        );
+        assert_eq!(
+            report.speculation.wasted_chunks,
+            statistics.speculative_chunks_wasted
+        );
+        assert_eq!(
+            report.speculation.wasted_bytes,
+            statistics.speculative_bytes_wasted
+        );
+        assert!(report.speculation.submitted >= report.speculation.committed_chunks);
+
+        // A disabled sink built the exact same way records nothing.
+        let data = fastq_records(2_000, 70);
+        let compressed = GzipWriter::default().compress(&data);
+        let silent = Arc::new(TraceSink::new());
+        let mut reader = ParallelGzipReader::from_bytes(
+            compressed,
+            options(2, 64 * 1024).with_trace(silent.clone()),
+        )
+        .unwrap();
+        assert_eq!(reader.decompress_all().unwrap(), data);
+        assert_eq!(silent.event_count(), 0);
+    }
+
+    #[test]
+    fn dropping_a_reader_mid_read_keeps_recorded_events() {
+        use rgz_trace::EventKind;
+
+        let data = silesia_like(2 * 1024 * 1024, 71);
+        let compressed = GzipWriter::default().compress(&data);
+        let trace = Arc::new(TraceSink::new_enabled());
+        let mut reader = ParallelGzipReader::from_bytes(
+            compressed,
+            options(4, 128 * 1024).with_trace(trace.clone()),
+        )
+        .unwrap();
+        // Read just far enough to put speculative workers in flight, then
+        // drop the reader while they may still be running.
+        let mut buffer = vec![0u8; 256 * 1024];
+        reader.read_exact(&mut buffer).unwrap();
+        assert_eq!(&buffer[..], &data[..buffer.len()]);
+        let recorded_before_drop = trace.event_count();
+        assert!(recorded_before_drop > 0);
+        drop(reader);
+        // Workers record straight into the sink's per-thread tracks, so the
+        // drop (which joins the pool) must not lose a single buffered event,
+        // and every surviving span is complete.
+        let snapshot = trace.snapshot();
+        let total: usize = snapshot.iter().map(|t| t.events.len()).sum();
+        assert!(
+            total >= recorded_before_drop,
+            "events lost on drop: {total} < {recorded_before_drop}"
+        );
+        for track in &snapshot {
+            for event in &track.events {
+                if let EventKind::Span {
+                    start_us,
+                    duration_us,
+                    ..
+                } = event.kind
+                {
+                    assert!(start_us.checked_add(duration_us).is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stale_and_mismatched_speculation_is_counted_as_waste() {
+        use rgz_trace::MetricsReport;
+
+        let data = base64_random(600_000, 72);
+        let compressed = GzipWriter::default().compress(&data);
+        let trace = Arc::new(TraceSink::new_enabled());
+        let reader = ParallelGzipReader::from_bytes(
+            compressed,
+            options(2, 64 * 1024).with_trace(trace.clone()),
+        )
+        .unwrap();
+        // Plant two impossible speculative results: offset 0 collides with
+        // the first on-demand chunk (counted as a mismatch), offset 1 can
+        // never be a chunk start (dropped as stale once the first chunk
+        // commits past it).
+        {
+            let mut state = reader.state.lock();
+            for found in [0u64, 1] {
+                state.speculative_ready.insert(
+                    found,
+                    SpeculativeChunk {
+                        requested_bit_offset: found,
+                        found_bit_offset: found,
+                        end_bit_offset: found + 8,
+                        symbols: vec![0u16; 100],
+                        block_count: 1,
+                        reached_end_of_file: false,
+                        member_ends: Vec::new(),
+                    },
+                );
+            }
+        }
+        let mut reader = reader;
+        assert_eq!(reader.decompress_all().unwrap(), data);
+        let statistics = reader.statistics();
+        assert!(statistics.speculative_chunks_wasted >= 2, "{statistics:?}");
+        assert!(statistics.speculative_bytes_wasted >= 200, "{statistics:?}");
+        assert!(statistics.speculative_mismatches >= 1, "{statistics:?}");
+        let report = MetricsReport::from_sink(&trace);
+        assert_eq!(
+            report.speculation.wasted_chunks,
+            statistics.speculative_chunks_wasted
+        );
+        assert_eq!(
+            report.speculation.wasted_bytes,
+            statistics.speculative_bytes_wasted
+        );
+        assert!(report.speculation.waste_ratio() > 0.0);
     }
 }

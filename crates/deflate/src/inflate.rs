@@ -74,6 +74,11 @@ pub struct InflateOutcome {
     /// for two-stage decoding (marker symbols cannot be hashed before
     /// replacement).
     pub crc32: Option<u32>,
+    /// Blocks the multi-symbol fast path declined and routed through the
+    /// single-symbol reference decoder (table build would not amortise near
+    /// the end of input).  Always zero when the fast path was not requested;
+    /// lets callers tag a decode span with a *fallback* outcome.
+    pub fast_fallback_blocks: u32,
 }
 
 impl InflateOutcome {
@@ -250,6 +255,7 @@ fn inflate_impl(
     let base = start_len as u64;
 
     let mut blocks = Vec::new();
+    let mut fast_fallback_blocks = 0u32;
     let stop_reason = loop {
         if should_stop_before_block(reader, stop_offset) {
             break StopReason::StopOffsetReached;
@@ -301,6 +307,9 @@ fn inflate_impl(
                     let codes = dynamic_block_codes_fast(reader)?;
                     decode_compressed_block_bytes_fast(reader, &codes, &mut sink)?;
                 } else {
+                    if fast {
+                        fast_fallback_blocks += 1;
+                    }
                     let codes = dynamic_block_codes(reader)?;
                     decode_compressed_block_bytes(
                         reader,
@@ -326,6 +335,7 @@ fn inflate_impl(
         end_position: reader.position(),
         window_usage: sink.usage.intervals(),
         crc32,
+        fast_fallback_blocks,
     })
 }
 
@@ -603,6 +613,7 @@ pub fn inflate_two_stage(
         end_position: reader.position(),
         window_usage: sink.usage.intervals(),
         crc32: None,
+        fast_fallback_blocks: 0,
     })
 }
 

@@ -6,9 +6,11 @@
 //! as the work queue and a small one-shot channel per task for the result.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use rgz_trace::{EventMeta, Outcome, Stage, TraceSink};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -45,6 +47,7 @@ impl<T> TaskHandle<T> {
 pub struct ThreadPool {
     sender: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
+    trace: Arc<TraceSink>,
 }
 
 impl std::fmt::Debug for ThreadPool {
@@ -58,6 +61,11 @@ impl std::fmt::Debug for ThreadPool {
 impl ThreadPool {
     /// Spawns `size` worker threads (at least one).
     pub fn new(size: usize) -> Self {
+        Self::new_traced(size, TraceSink::shared_disabled())
+    }
+
+    /// Spawns `size` worker threads that report queue-wait spans to `trace`.
+    pub fn new_traced(size: usize, trace: Arc<TraceSink>) -> Self {
         let size = size.max(1);
         let (sender, receiver) = unbounded::<Job>();
         let workers = (0..size)
@@ -76,12 +84,19 @@ impl ThreadPool {
         Self {
             sender: Some(sender),
             workers,
+            trace,
         }
     }
 
     /// Number of worker threads.
     pub fn size(&self) -> usize {
         self.workers.len()
+    }
+
+    /// The sink queue-wait spans are reported to (shared disabled sink when
+    /// the pool was built with [`ThreadPool::new`]).
+    pub fn trace(&self) -> &Arc<TraceSink> {
+        &self.trace
     }
 
     /// Submits a closure and returns a handle to its result.
@@ -91,7 +106,19 @@ impl ThreadPool {
         F: FnOnce() -> T + Send + 'static,
     {
         let (result_sender, result_receiver) = unbounded();
+        // Capture the submit timestamp so the worker can record how long the
+        // task sat in the queue; `None` (sink disabled) skips the span.
+        let submitted_us = self.trace.is_enabled().then(|| self.trace.now_us());
+        let trace = Arc::clone(&self.trace);
         let job: Job = Box::new(move || {
+            if let Some(submitted_us) = submitted_us {
+                trace.record_span_since(
+                    Stage::TaskWait,
+                    submitted_us,
+                    EventMeta::default(),
+                    Outcome::Ok,
+                );
+            }
             let outcome = catch_unwind(AssertUnwindSafe(task));
             // The receiver may have been dropped if the caller lost interest;
             // that is fine, the work is simply discarded.
@@ -186,6 +213,41 @@ mod tests {
         });
         assert!(handle.try_wait().is_none() || handle.is_finished());
         assert_eq!(handle.wait(), 42);
+    }
+
+    #[test]
+    fn traced_pool_records_queue_wait_spans() {
+        let trace = Arc::new(rgz_trace::TraceSink::new_enabled());
+        let pool = ThreadPool::new_traced(2, Arc::clone(&trace));
+        let handles: Vec<_> = (0..10).map(|i| pool.submit(move || i)).collect();
+        for handle in handles {
+            handle.wait();
+        }
+        let waits: usize = trace
+            .snapshot()
+            .iter()
+            .flat_map(|track| track.events.iter())
+            .filter(|event| {
+                matches!(
+                    event.kind,
+                    rgz_trace::EventKind::Span {
+                        stage: rgz_trace::Stage::TaskWait,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(waits, 10, "one queue-wait span per submitted task");
+    }
+
+    #[test]
+    fn untraced_pool_records_nothing() {
+        let pool = ThreadPool::new(2);
+        assert!(!pool.trace().is_enabled());
+        for handle in (0..4).map(|i| pool.submit(move || i)).collect::<Vec<_>>() {
+            handle.wait();
+        }
+        assert_eq!(pool.trace().event_count(), 0);
     }
 
     #[test]

@@ -200,6 +200,11 @@ impl WindowMap {
         self.store.set_pool(pool);
     }
 
+    /// Attaches a trace sink; window compress/inflate work records spans.
+    pub fn set_trace(&self, trace: Arc<rgz_trace::TraceSink>) {
+        self.store.set_trace(trace);
+    }
+
     /// Number of stored windows.
     pub fn len(&self) -> usize {
         self.store.len()

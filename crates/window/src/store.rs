@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use rgz_fetcher::{Cache, CacheStatistics, TaskHandle, ThreadPool};
+use rgz_trace::{Outcome, Stage, TraceSink};
 
 use crate::compressed::{CompressedWindow, WindowError};
 
@@ -50,6 +51,7 @@ enum Slot {
 
 struct Inner {
     pool: Option<Arc<ThreadPool>>,
+    trace: Arc<TraceSink>,
     slots: HashMap<u64, Slot>,
     hot: Cache<u64, Vec<u8>>,
     corrupt_windows: u64,
@@ -114,6 +116,7 @@ impl WindowStore {
         Self {
             inner: Mutex::new(Inner {
                 pool: None,
+                trace: TraceSink::shared_disabled(),
                 slots: HashMap::new(),
                 hot: Cache::new(capacity.max(1)),
                 corrupt_windows: 0,
@@ -124,6 +127,11 @@ impl WindowStore {
     /// Attaches a thread pool; subsequent insertions compress asynchronously.
     pub fn set_pool(&self, pool: Arc<ThreadPool>) {
         self.inner.lock().pool = Some(pool);
+    }
+
+    /// Attaches a trace sink; window compress/inflate work records spans.
+    pub fn set_trace(&self, trace: Arc<TraceSink>) {
+        self.inner.lock().trace = trace;
     }
 
     /// Number of stored windows.
@@ -150,9 +158,16 @@ impl WindowStore {
         let mut inner = self.inner.lock();
         // Invalidate any stale decompressed copy of a window being replaced.
         inner.hot.remove(&offset);
+        let trace = Arc::clone(&inner.trace);
+        let traced_job = move || {
+            let mut span = trace.span(Stage::WindowCompress).chunk(offset);
+            let record = job();
+            span.set_bytes(u64::from(record.window_length));
+            record
+        };
         let slot = match &inner.pool {
-            Some(pool) => Slot::Pending(pool.submit(job)),
-            None => Slot::Ready(Arc::new(job())),
+            Some(pool) => Slot::Pending(pool.submit(traced_job)),
+            None => Slot::Ready(Arc::new(traced_job())),
         };
         inner.slots.insert(offset, slot);
     }
@@ -187,13 +202,17 @@ impl WindowStore {
         let Some(record) = inner.resolve(offset) else {
             return Ok(None);
         };
+        let trace = Arc::clone(&inner.trace);
+        let mut span = trace.span(Stage::WindowInflate).chunk(offset);
         match record.decompress() {
             Ok(window) => {
+                span.set_bytes(window.len() as u64);
                 let window = Arc::new(window);
                 inner.hot.insert(offset, window.clone());
                 Ok(Some(window))
             }
             Err(error) => {
+                span.set_outcome(Outcome::Error);
                 inner.corrupt_windows += 1;
                 Err(error)
             }
