@@ -19,8 +19,8 @@ use rgz_blockfinder::{
 };
 use rgz_core::{ParallelGzipReader, ParallelGzipReaderOptions};
 use rgz_deflate::{
-    inflate, inflate_single_symbol, replace_markers, CompressorOptions, DeflateCompressor,
-    MARKER_BASE,
+    inflate, inflate_single_symbol, replace_markers, replace_markers_into_scalar,
+    CompressorOptions, DeflateCompressor, MARKER_BASE,
 };
 use rgz_trace::{chrome_trace_json, MetricsReport, TraceSink};
 
@@ -173,7 +173,7 @@ fn main() {
         })
         .collect();
     let (_, duration) = best_of(|| replace_markers(&symbols, &window).unwrap());
-    row(
+    let marker_simd = row(
         &mut report,
         json,
         "Marker replacement",
@@ -181,6 +181,65 @@ fn main() {
         symbols.len(),
         duration,
     );
+    let (_, duration) = best_of(|| {
+        let mut out = Vec::with_capacity(symbols.len());
+        replace_markers_into_scalar(&symbols, &window, &mut out).unwrap();
+        out
+    });
+    let marker_scalar = row(
+        &mut report,
+        json,
+        "Marker replacement (scalar)",
+        "marker_replacement_scalar_mb_s",
+        symbols.len(),
+        duration,
+    );
+    let marker_speedup = marker_simd / marker_scalar;
+    if !json {
+        println!(
+            "{:<28} {:>15.2}x [{}]",
+            "  speedup (markers)",
+            marker_speedup,
+            rgz_deflate::markers_active_isa()
+        );
+    }
+    report.record("speedup_marker_replacement", marker_speedup);
+
+    // CRC-32: the carryless-multiply folding kernel against the slicing-by-16
+    // scalar reference.  The speedup ratio is machine-independent as long as
+    // the runner has PCLMULQDQ (every x86-64 CPU since ~2010); on other ISAs
+    // both sides run the scalar path and the ratio degenerates to ~1.
+    let crc_payload = rgz_datagen::base64_random(scaled(256 << 20, 32 << 20), 5);
+    let (simd_crc, duration) = best_of(|| rgz_checksum::crc32(&crc_payload));
+    let crc_simd = row(
+        &mut report,
+        json,
+        "CRC-32 (folding)",
+        "crc32_mb_s",
+        crc_payload.len(),
+        duration,
+    );
+    let (scalar_crc, duration) = best_of(|| rgz_checksum::crc32_scalar(&crc_payload));
+    assert_eq!(simd_crc, scalar_crc, "CRC kernels must agree");
+    let crc_scalar = row(
+        &mut report,
+        json,
+        "CRC-32 (scalar)",
+        "crc32_scalar_mb_s",
+        crc_payload.len(),
+        duration,
+    );
+    let crc_speedup = crc_simd / crc_scalar;
+    if !json {
+        println!(
+            "{:<28} {:>15.2}x [{}]",
+            "  speedup (crc32)",
+            crc_speedup,
+            rgz_checksum::crc32_active_isa()
+        );
+    }
+    report.record("speedup_crc32", crc_speedup);
+    drop(crc_payload);
 
     // Writing to a file in /dev/shm (or the temp dir as a fallback).
     let out_dir = if std::path::Path::new("/dev/shm").is_dir() {

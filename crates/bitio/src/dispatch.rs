@@ -1,0 +1,34 @@
+//! Shared runtime-dispatch support for the SIMD hot-path kernels.
+//!
+//! Every accelerated kernel in the workspace (carryless-multiply CRC-32 in
+//! `rgz_checksum`, SIMD marker replacement in `rgz_deflate`, the block-finder
+//! prefilter in `rgz_blockfinder`) keeps its scalar implementation as the
+//! portable reference and selects the widest available instruction set at
+//! runtime.  This module centralises the one policy knob they all share: the
+//! `RGZ_FORCE_SCALAR` environment variable, which pins every kernel to its
+//! scalar reference path (used by the CI fallback leg and by differential
+//! benchmarks).
+
+use std::sync::OnceLock;
+
+/// Returns `true` when `RGZ_FORCE_SCALAR` is set (to anything but `0` or the
+/// empty string), requesting that all SIMD kernels take their scalar
+/// reference paths.  Read once per process.
+pub fn scalar_forced() -> bool {
+    static FORCED: OnceLock<bool> = OnceLock::new();
+    *FORCED.get_or_init(|| match std::env::var_os("RGZ_FORCE_SCALAR") {
+        None => false,
+        Some(value) => !value.is_empty() && value != *"0",
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_forced_is_stable_across_calls() {
+        // The value is latched on first use; both calls must agree.
+        assert_eq!(scalar_forced(), scalar_forced());
+    }
+}

@@ -8,9 +8,11 @@
 //! block-finder peeks (up to 57 bits) cost only a few instructions, which is
 //! what Figure 7 of the paper measures.
 
+pub mod dispatch;
 mod reader;
 mod writer;
 
+pub use dispatch::scalar_forced;
 pub use reader::BitReader;
 pub use writer::BitWriter;
 

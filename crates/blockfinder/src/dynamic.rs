@@ -279,6 +279,54 @@ fn classify_packed_histogram(histogram: u64, non_zero: u32) -> CodeCompleteness 
     }
 }
 
+/// Up to 57 bits starting at bit offset `bit`, read with one unaligned
+/// little-endian load (DEFLATE's LSB-first order makes stream bit
+/// `8·byte + i` word bit `i`).  Bits past the end of `data` read as zero; the
+/// caller bounds-checks against `total_bits` before trusting them.
+#[inline]
+fn peek_bits_raw(data: &[u8], bit: u64, count: u32) -> u64 {
+    debug_assert!(count <= 57);
+    let byte = (bit / 8) as usize;
+    let mut buffer = [0u8; 8];
+    let take = (data.len() - byte.min(data.len())).min(8);
+    buffer[..take].copy_from_slice(&data[byte..byte + take]);
+    (u64::from_le_bytes(buffer) >> (bit % 8)) & rgz_bitio::low_bit_mask(count)
+}
+
+/// Cheap raw-load replica of [`check_dynamic_header`]'s precode stage (steps
+/// 3–4): HCLEN, the 3-bit precode lengths in one 57-bit peek, and the packed
+/// Kraft histogram — without constructing a [`BitReader`].  Returns `false`
+/// only for offsets the precise check would reject too, so the bulk scan can
+/// discard the ~3% of positions that survive the header-bit masks without
+/// paying for a seek; the precise check still owns the final verdict.
+#[inline]
+fn precode_prefilter(data: &[u8], offset: u64, total_bits: u64) -> bool {
+    let precode_count = peek_bits_raw(data, offset + 13, 4) + 4;
+    if offset + 17 + 3 * precode_count > total_bits {
+        // Truncated header: the precise check fails reading these bits.
+        return false;
+    }
+    let mut bits = peek_bits_raw(data, offset + 17, 3 * precode_count as u32);
+    let mut histogram = 0u64;
+    let mut non_zero = 0u32;
+    for _ in 0..precode_count {
+        let length = bits & 0b111;
+        bits >>= 3;
+        if length != 0 {
+            histogram += 1 << (5 * (length - 1));
+            non_zero += 1;
+        }
+    }
+    if non_zero == 0 {
+        return false;
+    }
+    match classify_packed_histogram(histogram, non_zero) {
+        CodeCompleteness::Oversubscribed => false,
+        CodeCompleteness::Incomplete if non_zero > 1 => false,
+        _ => true,
+    }
+}
+
 // --- skip LUT ---------------------------------------------------------------
 
 /// Number of header bits the skip LUT inspects per position.  The first 13
@@ -376,6 +424,17 @@ impl BlockFinder for SkipLutFinder {
     }
 }
 
+/// Name of the candidate-scan kernel [`DynamicBlockFinder::find_next`]
+/// resolves to on this machine: `"swar64"` (bulk 64-position prefilter) or
+/// `"lut"` (per-position skip-LUT walk, forced by `RGZ_FORCE_SCALAR`).
+pub fn active_isa() -> &'static str {
+    if rgz_bitio::scalar_forced() {
+        "lut"
+    } else {
+        "swar64"
+    }
+}
+
 /// The fully optimised Dynamic Block finder used by the parallel decompressor.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct DynamicBlockFinder;
@@ -384,6 +443,66 @@ impl DynamicBlockFinder {
     /// Creates a finder.
     pub fn new() -> Self {
         Self
+    }
+
+    /// Bulk candidate prefilter: classifies 56 bit positions per 64-bit load
+    /// with a handful of shifts/ANDs (SWAR), then runs the precise header
+    /// check only on surviving candidates.
+    ///
+    /// A position `i` survives iff the three cheap header checks pass — the
+    /// same criterion the skip LUT encodes:
+    ///
+    /// * final-block bit clear — `!w`,
+    /// * block type `0b10` (bits `i+1`, `i+2` = 0, 1) — `!(w >> 1) & (w >> 2)`,
+    /// * HLIT < 30 — HLIT ≥ 30 iff its four high bits (`i+4..=i+7`) are all
+    ///   set, so survivors need `!((w>>4) & (w>>5) & (w>>6) & (w>>7))`.
+    ///
+    /// On random data ~3.1% of positions survive (1/2 · 1/4 · 30/32 from the
+    /// three masks), so the per-position [`check_dynamic_header`] cost is paid
+    /// rarely; everything else is 8 bytes per ~9 ALU ops.  DEFLATE's LSB-first
+    /// bit order makes a little-endian `u64` load line stream bit `8·byte + i`
+    /// up with word bit `i`, which is what lets plain integer shifts stand in
+    /// for per-position bit extraction.  Windows advance 7 bytes (56 bits), so
+    /// each keeps the 8 lookahead bits that position 55's HLIT field needs.
+    fn find_next_swar(&self, data: &[u8], start_bit: u64) -> Option<u64> {
+        let total_bits = data.len() as u64 * 8;
+        if start_bit + 13 > total_bits {
+            return None;
+        }
+        let mut byte = (start_bit / 8) as usize;
+        while byte + 8 <= data.len() {
+            let window = u64::from_le_bytes(data[byte..byte + 8].try_into().unwrap());
+            let base = byte as u64 * 8;
+            let hlit_overflow = (window >> 4) & (window >> 5) & (window >> 6) & (window >> 7);
+            let mut candidates =
+                !window & !(window >> 1) & (window >> 2) & !hlit_overflow & 0x00FF_FFFF_FFFF_FFFF;
+            if start_bit > base {
+                // First window only: drop positions before the start bit.
+                candidates &= u64::MAX << (start_bit - base);
+            }
+            while candidates != 0 {
+                let offset = base + candidates.trailing_zeros() as u64;
+                if offset + 13 > total_bits {
+                    return None;
+                }
+                if precode_prefilter(data, offset, total_bits)
+                    && check_dynamic_header(data, offset) == HeaderCheck::Valid
+                {
+                    return Some(offset);
+                }
+                candidates &= candidates - 1;
+            }
+            byte += 7;
+        }
+        // Fewer than 8 bytes left: finish with the per-position walk.
+        let mut offset = (byte as u64 * 8).max(start_bit);
+        while offset + 13 <= total_bits {
+            if check_dynamic_header(data, offset) == HeaderCheck::Valid {
+                return Some(offset);
+            }
+            offset += 1;
+        }
+        None
     }
 
     /// Finds the next candidate and updates per-stage statistics (used by the
@@ -452,7 +571,14 @@ impl DynamicBlockFinder {
 
 impl BlockFinder for DynamicBlockFinder {
     fn find_next(&self, data: &[u8], start_bit: u64) -> Option<u64> {
-        self.find_next_internal(data, start_bit, None)
+        // The statistics path keeps the skip-LUT walk (it attributes every
+        // skipped position exactly); the plain search takes the bulk
+        // prefilter, which visits the same candidates in the same order.
+        if rgz_bitio::scalar_forced() {
+            self.find_next_internal(data, start_bit, None)
+        } else {
+            self.find_next_swar(data, start_bit)
+        }
     }
 }
 
@@ -589,6 +715,78 @@ mod tests {
                 offset = candidate + 1;
             }
             assert_eq!(found, Some(target));
+        }
+    }
+
+    /// All offsets a finder reports over the whole input, via repeated
+    /// `find_next` calls through the given entry point.
+    fn collect_all(
+        data: &[u8],
+        start: u64,
+        mut next: impl FnMut(&[u8], u64) -> Option<u64>,
+    ) -> Vec<u64> {
+        let mut offsets = Vec::new();
+        let mut cursor = start;
+        while let Some(found) = next(data, cursor) {
+            offsets.push(found);
+            cursor = found + 1;
+        }
+        offsets
+    }
+
+    #[test]
+    fn swar_active_isa_names_a_known_kernel() {
+        assert!(["swar64", "lut"].contains(&active_isa()));
+    }
+
+    #[test]
+    fn swar_and_lut_walks_agree_on_random_data_and_real_blocks() {
+        let finder = DynamicBlockFinder::new();
+        let mut rng = StdRng::seed_from_u64(42);
+        let random: Vec<u8> = (0..128 * 1024).map(|_| rng.gen()).collect();
+        let (compressed, offsets) = compressed_with_blocks();
+        for corpus in [&random[..], &compressed[..]] {
+            let swar = collect_all(corpus, 0, |d, s| finder.find_next_swar(d, s));
+            let lut = collect_all(corpus, 0, |d, s| finder.find_next_internal(d, s, None));
+            assert_eq!(swar, lut);
+        }
+        // The real block offsets are among the SWAR results.
+        let swar = collect_all(&compressed, 0, |d, s| finder.find_next_swar(d, s));
+        for target in offsets {
+            assert!(swar.contains(&target), "missing real block at {target}");
+        }
+    }
+
+    #[test]
+    fn swar_handles_short_inputs_and_unaligned_starts() {
+        let finder = DynamicBlockFinder::new();
+        let mut rng = StdRng::seed_from_u64(77);
+        for length in [0usize, 1, 2, 7, 8, 9, 15, 16, 40] {
+            let data: Vec<u8> = (0..length).map(|_| rng.gen()).collect();
+            for start in 0..(length as u64 * 8).min(70) {
+                assert_eq!(
+                    finder.find_next_swar(&data, start),
+                    finder.find_next_internal(&data, start, None),
+                    "length {length} start {start}"
+                );
+            }
+        }
+    }
+
+    proptest::proptest! {
+        // Differential: the SWAR bulk prefilter and the skip-LUT walk must
+        // report identical offsets from any start bit on arbitrary bytes —
+        // including window-straddling headers and tails shorter than a load.
+        #[test]
+        fn swar_prefilter_matches_lut_walk(
+            data in proptest::collection::vec(proptest::prelude::any::<u8>(), 0..2048),
+            start in 0u64..2048 * 8 + 16,
+        ) {
+            let finder = DynamicBlockFinder::new();
+            proptest::prop_assert_eq!(
+                collect_all(&data, start, |d, s| finder.find_next_swar(d, s)),
+                collect_all(&data, start, |d, s| finder.find_next_internal(d, s, None))
+            );
         }
     }
 

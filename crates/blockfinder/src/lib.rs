@@ -18,8 +18,8 @@ pub mod dynamic;
 pub mod uncompressed;
 
 pub use dynamic::{
-    CustomParseFinder, DynamicBlockFinder, FilterStatistics, PugzLikeFinder, SkipLutFinder,
-    TrialInflateFinder,
+    active_isa as finder_active_isa, CustomParseFinder, DynamicBlockFinder, FilterStatistics,
+    PugzLikeFinder, SkipLutFinder, TrialInflateFinder,
 };
 pub use uncompressed::UncompressedBlockFinder;
 

@@ -1,0 +1,25 @@
+fn main() {
+    let data: Vec<u8> = (0..64usize << 20)
+        .map(|i| (i.wrapping_mul(2654435761) >> 9) as u8)
+        .collect();
+    for (name, f) in [
+        ("simd", rgz_checksum::crc32 as fn(&[u8]) -> u32),
+        ("scalar", rgz_checksum::crc32_scalar),
+    ] {
+        let mut best = f64::MAX;
+        let mut out = 0;
+        for _ in 0..5 {
+            let t = std::time::Instant::now();
+            out = f(&data);
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        println!(
+            "{name}: {:.0} MB/s (crc {out:08x})",
+            data.len() as f64 / best / 1e6
+        );
+    }
+    assert_eq!(
+        rgz_checksum::crc32(&data),
+        rgz_checksum::crc32_scalar(&data)
+    );
+}

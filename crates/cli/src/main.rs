@@ -28,8 +28,9 @@
 //!                             latency percentiles, worker utilization,
 //!                             speculation waste, prefetch hit rate) to stderr;
 //!                             `=json` emits one machine-readable JSON line
-//!   -v, --verbose             print reader statistics and index/window
-//!                             memory usage to stderr after the run
+//!   -v, --verbose             print the selected SIMD kernels, reader
+//!                             statistics and index/window memory usage to
+//!                             stderr
 //!   -o, --output <PATH>       write output to PATH instead of stdout
 //!   -h, --help                show this help
 //! ```
@@ -151,6 +152,23 @@ fn parse_arguments() -> Result<Options, String> {
 
 fn run(options: &Options) -> Result<(), String> {
     let start = std::time::Instant::now();
+
+    if options.verbose {
+        // Which kernel each runtime-dispatched hot path selected on this
+        // machine (all of them fall back to "scalar"-family names under
+        // RGZ_FORCE_SCALAR=1 or on CPUs without the fast ISAs).
+        eprintln!(
+            "rgzip: kernels: crc32={}, marker-replacement={}, block-finder={}{}",
+            rgz_checksum::crc32_active_isa(),
+            rgz_deflate::markers_active_isa(),
+            rgz_blockfinder::finder_active_isa(),
+            if rgz_bitio::scalar_forced() {
+                " [RGZ_FORCE_SCALAR=1]"
+            } else {
+                ""
+            }
+        );
+    }
 
     // One sink serves both decoder paths; it records nothing (a single
     // relaxed atomic load per call site) unless tracing or metrics were

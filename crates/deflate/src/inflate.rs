@@ -112,9 +112,28 @@ struct ByteSink<'w> {
     /// Maximum total output length; decoding errors out once exceeded (used
     /// to bound the expansion of untrusted streams).
     limit: usize,
+    /// Route match copies through the portable doubling loop instead of the
+    /// overshooting vector copy (set by `RGZ_FORCE_SCALAR`, and by the
+    /// differential tests to compare both).
+    scalar_copies: bool,
 }
 
-impl ByteSink<'_> {
+/// Spare capacity the overshooting match copy keeps past the output end: one
+/// 16-byte register per store, plus one period-replication pass that can land
+/// a register's worth beyond it.
+const COPY_SLACK: usize = 32;
+
+impl<'w> ByteSink<'w> {
+    fn new(window: &'w [u8], out: Vec<u8>, limit: usize) -> Self {
+        Self {
+            window,
+            out,
+            usage: WindowUsage::new(),
+            limit,
+            scalar_copies: rgz_bitio::scalar_forced(),
+        }
+    }
+
     #[inline]
     fn push_literal(&mut self, byte: u8) {
         self.out.push(byte);
@@ -155,6 +174,16 @@ impl ByteSink<'_> {
     /// output. Requires `1 <= distance <= out.len()`.
     #[inline]
     fn copy_within_output(&mut self, distance: usize, length: usize) {
+        if self.scalar_copies {
+            self.copy_within_output_scalar(distance, length);
+        } else {
+            self.copy_within_output_overshoot(distance, length);
+        }
+    }
+
+    /// Portable reference for [`Self::copy_within_output`]: repeated
+    /// `extend_from_within` chunks, each a bounds-checked memcpy.
+    fn copy_within_output_scalar(&mut self, distance: usize, length: usize) {
         let start = self.out.len() - distance;
         // The output from `start` onwards repeats with period `distance`, so
         // each `extend_from_within` chunk (a memcpy) may cover everything
@@ -165,6 +194,54 @@ impl ByteSink<'_> {
             let chunk = (length - copied).min(self.out.len() - start);
             self.out.extend_from_within(start..start + chunk);
             copied += chunk;
+        }
+    }
+
+    /// Vector match copy: whole 16-byte registers, deliberately overshooting
+    /// the match end into reserved slack (the overshoot bytes are either
+    /// overwritten by the next symbol or sit beyond `len` and are never
+    /// observed).  Typical DEFLATE matches are 3–30 bytes, so most copies
+    /// complete in one or two register stores with no per-byte or per-chunk
+    /// bookkeeping; overlapping matches first replicate their period until
+    /// source and cursor are a register apart.
+    // `unsafe` is confined to raw-pointer register copies whose bounds are
+    // established by the `reserve` above them (workspace-wide policy: unsafe
+    // only inside vetted hot-loop kernels; `copy_within_output_scalar` is the
+    // portable reference).
+    #[allow(unsafe_code)]
+    #[inline]
+    fn copy_within_output_overshoot(&mut self, distance: usize, length: usize) {
+        let len = self.out.len();
+        self.out.reserve(length + COPY_SLACK);
+        // SAFETY: the buffer has `length + COPY_SLACK` spare bytes.  Writes
+        // run from `len` to at most `len + length + 15` (each store is 16
+        // bytes starting below `end`); reads stay below the write cursor,
+        // which starts at initialized data and advances contiguously.
+        // `set_len` covers exactly the `length` initialized match bytes.
+        unsafe {
+            let base = self.out.as_mut_ptr();
+            let mut src = base.add(len - distance);
+            let mut dst = base.add(len);
+            let end = dst.add(length);
+            if distance == 1 {
+                std::ptr::write_bytes(dst, *src, length);
+            } else {
+                // Replicate the period until source and cursor are at least
+                // one register apart; each pass doubles the gap, so this
+                // runs at most four times (distance >= 2).
+                let mut gap = distance;
+                while gap < 16 && dst < end {
+                    std::ptr::copy_nonoverlapping(src, dst, gap);
+                    dst = dst.add(gap);
+                    gap *= 2;
+                }
+                while dst < end {
+                    std::ptr::copy_nonoverlapping(src, dst, 16);
+                    src = src.add(16);
+                    dst = dst.add(16);
+                }
+            }
+            self.out.set_len(len + length);
         }
     }
 }
@@ -246,12 +323,7 @@ fn inflate_impl(
     fast: bool,
 ) -> Result<InflateOutcome, DeflateError> {
     let start_len = out.len();
-    let mut sink = ByteSink {
-        window,
-        out: std::mem::take(out),
-        usage: WindowUsage::new(),
-        limit: output_limit,
-    };
+    let mut sink = ByteSink::new(window, std::mem::take(out), output_limit);
     let base = start_len as u64;
 
     let mut blocks = Vec::new();
@@ -423,10 +495,18 @@ fn decode_compressed_block_bytes_fast(
                 .literal_fast
                 .entry(reader.peek_cached(FAST_TABLE_BITS));
             match entry.kind() {
+                FastEntryKind::LiteralTriple => {
+                    reader.consume_cached(entry.consumed_bits());
+                    sink.out.extend_from_slice(&[
+                        entry.literal(),
+                        entry.second_literal(),
+                        entry.third_literal(),
+                    ]);
+                }
                 FastEntryKind::LiteralPair => {
                     reader.consume_cached(entry.consumed_bits());
-                    sink.push_literal(entry.literal());
-                    sink.push_literal(entry.second_literal());
+                    sink.out
+                        .extend_from_slice(&[entry.literal(), entry.second_literal()]);
                 }
                 FastEntryKind::Literal => {
                     reader.consume_cached(entry.consumed_bits());
@@ -886,12 +966,7 @@ mod tests {
         let outcome = inflate(&mut reader, &[], &mut out2, u64::MAX).unwrap();
         drop(outcome);
         // Direct unit check of the sink error.
-        let mut sink = ByteSink {
-            window: &[],
-            out: Vec::new(),
-            usage: WindowUsage::new(),
-            limit: usize::MAX,
-        };
+        let mut sink = ByteSink::new(&[], Vec::new(), usize::MAX);
         assert!(matches!(
             sink.copy_match(5, 3),
             Err(DeflateError::DistanceTooFar { .. })
@@ -982,7 +1057,49 @@ mod tests {
         assert_eq!(&fast_out[..], &data[split..]);
     }
 
+    #[test]
+    fn overshoot_copy_matches_scalar_on_boundary_cases() {
+        // Distances straddling the period-replication and register-copy
+        // regimes, lengths straddling the register size.
+        for distance in [1usize, 2, 3, 7, 8, 15, 16, 17, 31, 32, 200] {
+            for length in [1usize, 2, 3, 15, 16, 17, 31, 32, 33, 258] {
+                let seed: Vec<u8> = (0..300).map(|i| (i % 251) as u8).collect();
+                let mut fast = ByteSink::new(&[], seed.clone(), usize::MAX);
+                fast.scalar_copies = false;
+                fast.copy_within_output(distance, length);
+                let mut scalar = ByteSink::new(&[], seed, usize::MAX);
+                scalar.scalar_copies = true;
+                scalar.copy_within_output(distance, length);
+                assert_eq!(fast.out, scalar.out, "distance {distance} length {length}");
+            }
+        }
+    }
+
     proptest::proptest! {
+        /// The overshooting vector match copy must be byte-identical to the
+        /// portable doubling reference over arbitrary literal/copy op
+        /// sequences (overlapping and straddling matches included).
+        #[test]
+        fn overshoot_and_scalar_match_copies_are_identical(
+            ops in proptest::collection::vec(
+                (proptest::prelude::any::<u8>(), 1usize..300, 1usize..300),
+                1..60,
+            ),
+        ) {
+            let mut fast = ByteSink::new(&[], vec![7u8], usize::MAX);
+            fast.scalar_copies = false;
+            let mut scalar = ByteSink::new(&[], vec![7u8], usize::MAX);
+            scalar.scalar_copies = true;
+            for (literal, distance, length) in ops {
+                fast.push_literal(literal);
+                scalar.push_literal(literal);
+                let distance = 1 + distance % fast.out.len();
+                fast.copy_within_output(distance, length);
+                scalar.copy_within_output(distance, length);
+                proptest::prop_assert_eq!(&fast.out, &scalar.out);
+            }
+        }
+
         /// The tentpole guarantee: on arbitrary compressible inputs, dynamic
         /// block sizes and corruption (single-bit flips or truncation), the
         /// multi-symbol fast path and the single-symbol reference decoder are

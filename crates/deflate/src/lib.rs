@@ -25,8 +25,8 @@ pub use inflate::{
     BlockBoundary, InflateOutcome, StopReason, MARKER_BASE,
 };
 pub use markers::{
-    contains_markers, replace_markers, replace_markers_hashed, replace_markers_into,
-    resolve_window, WindowUsage,
+    active_isa as markers_active_isa, contains_markers, replace_markers, replace_markers_hashed,
+    replace_markers_into, replace_markers_into_scalar, resolve_window, WindowUsage,
 };
 
 use rgz_huffman::HuffmanError;
@@ -73,6 +73,15 @@ pub enum DeflateError {
     OutputLimitExceeded {
         /// The output bound that was exceeded.
         limit: usize,
+    },
+    /// A fragment split point handed to [`replace_markers_hashed`] lies past
+    /// the end of the resolved output (the caller's member-boundary
+    /// bookkeeping disagrees with the chunk's actual length).
+    FragmentEndOutOfRange {
+        /// The offending split offset.
+        end: usize,
+        /// Length of the resolved chunk output.
+        output_length: usize,
     },
 }
 
@@ -125,6 +134,10 @@ impl std::fmt::Display for DeflateError {
             DeflateError::OutputLimitExceeded { limit } => {
                 write!(f, "decoded output exceeds the {limit} byte bound")
             }
+            DeflateError::FragmentEndOutOfRange { end, output_length } => write!(
+                f,
+                "fragment split at {end} lies past the {output_length} byte resolved output"
+            ),
         }
     }
 }

@@ -80,7 +80,13 @@ impl WindowUsage {
     }
 
     /// Maximal runs of referenced bytes as sorted `(offset, length)` pairs.
+    ///
+    /// Offsets and lengths are bounded by [`WINDOW_SIZE`] (32 KiB) — `mark`
+    /// clamps every range to the window — so the `as u32` narrowing below is
+    /// lossless; the debug assertion pins that invariant at the window
+    /// boundary.
     pub fn intervals(&self) -> Vec<(u32, u32)> {
+        debug_assert_eq!(self.bits.len() * 64, WINDOW_SIZE);
         let mut intervals = Vec::new();
         let mut run_start: Option<usize> = None;
         for (word_index, &word) in self.bits.iter().enumerate() {
@@ -144,7 +150,35 @@ pub fn replace_markers(symbols: &[u16], window: &[u8]) -> Result<Vec<u8>, Deflat
 
 /// [`replace_markers`] variant appending into an existing buffer; this is the
 /// routine whose bandwidth Table 2 reports as "Marker replacement".
+///
+/// On x86-64 the replacement runs through a SIMD kernel (AVX2 when detected
+/// at runtime, SSE2 otherwise — see [`active_isa`]): 16–32 symbols are
+/// classified per iteration into literal and marker lanes, the literal lanes
+/// are narrowed and stored in one go, and only the (typically sparse) marker
+/// lanes take a scalar window fetch.  Behaviour — including the partial
+/// output left behind when an invalid symbol or out-of-window marker aborts
+/// the replacement — is bit-for-bit identical to
+/// [`replace_markers_into_scalar`], which every other platform uses directly.
 pub fn replace_markers_into(
+    symbols: &[u16],
+    window: &[u8],
+    out: &mut Vec<u8>,
+) -> Result<(), DeflateError> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        match simd::kernel() {
+            simd::Kernel::Avx2 => return simd::replace_avx2(symbols, window, out),
+            simd::Kernel::Sse2 => return simd::replace_sse2(symbols, window, out),
+            simd::Kernel::Scalar => {}
+        }
+    }
+    replace_markers_into_scalar(symbols, window, out)
+}
+
+/// Portable scalar reference for [`replace_markers_into`]; the differential
+/// proptests assert the SIMD kernels match it bit-for-bit, partial
+/// error-path output included.
+pub fn replace_markers_into_scalar(
     symbols: &[u16],
     window: &[u8],
     out: &mut Vec<u8>,
@@ -170,6 +204,215 @@ pub fn replace_markers_into(
     Ok(())
 }
 
+/// Name of the marker-replacement kernel [`replace_markers_into`] resolves to
+/// on this machine: `"avx2"`, `"sse2"`, or `"scalar"`.
+pub fn active_isa() -> &'static str {
+    #[cfg(target_arch = "x86_64")]
+    {
+        match simd::kernel() {
+            simd::Kernel::Avx2 => "avx2",
+            simd::Kernel::Sse2 => "sse2",
+            simd::Kernel::Scalar => "scalar",
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        "scalar"
+    }
+}
+
+/// SIMD marker replacement (x86-64).
+///
+/// Every block of `LANES` 16-bit symbols is classified with three vector
+/// masks:
+///
+/// * **literal** — high byte zero (symbol < 256);
+/// * **marker** — sign bit set ([`MARKER_BASE`] is `0x8000`, so markers are
+///   exactly the negative lanes when reinterpreted as `i16`);
+/// * **invalid** — neither (256..=32767), which must surface the scalar
+///   path's exact `InvalidMarkerSymbol` error and partial output.
+///
+/// Literal lanes are narrowed to bytes (`packus` saturation only mangles
+/// non-literal lanes, which are overwritten or rejected) and stored with one
+/// unaligned write; marker lanes are then patched individually, iterating
+/// the movemask bit-set — on real chunks markers are sparse, so the scalar
+/// patch loop touches only a few lanes per block.  Blocks containing an
+/// invalid symbol or an out-of-window marker are re-run through the scalar
+/// reference so the error, and the partial output preceding it, match
+/// bit-for-bit.
+// `unsafe` is confined to CPU intrinsics and spare-capacity stores whose
+// bounds are established by the up-front `reserve` (workspace-wide policy:
+// unsafe only inside vetted SIMD kernel modules).
+#[allow(unsafe_code)]
+#[cfg(target_arch = "x86_64")]
+mod simd {
+    use super::{replace_markers_into_scalar, DeflateError, MARKER_BASE, WINDOW_SIZE};
+    use std::arch::x86_64::*;
+
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub(super) enum Kernel {
+        Avx2,
+        Sse2,
+        Scalar,
+    }
+
+    pub(super) fn kernel() -> Kernel {
+        use std::sync::OnceLock;
+        static KERNEL: OnceLock<Kernel> = OnceLock::new();
+        *KERNEL.get_or_init(|| {
+            if rgz_bitio::scalar_forced() {
+                Kernel::Scalar
+            } else if is_x86_feature_detected!("avx2") {
+                Kernel::Avx2
+            } else {
+                // SSE2 is part of the x86-64 baseline; no detection needed.
+                Kernel::Sse2
+            }
+        })
+    }
+
+    /// Patches the marker lanes of one committed block and reports whether a
+    /// marker reached outside the window.  `block` is the block's symbols,
+    /// `dst` its freshly stored literal bytes, `marker_bits` lane `i`'s
+    /// marker flag in bit `i`.
+    ///
+    /// # Safety
+    ///
+    /// `dst` must be valid for writes of `block.len()` bytes.
+    #[inline(always)]
+    unsafe fn patch_markers(
+        block: &[u16],
+        window: &[u8],
+        window_base: usize,
+        dst: *mut u8,
+        mut marker_bits: u32,
+    ) -> bool {
+        while marker_bits != 0 {
+            let lane = marker_bits.trailing_zeros() as usize;
+            let offset = (block[lane] - MARKER_BASE) as usize;
+            let Some(relative) = offset.checked_sub(window_base) else {
+                return false;
+            };
+            unsafe { dst.add(lane).write(window[relative]) };
+            marker_bits &= marker_bits - 1;
+        }
+        true
+    }
+
+    pub(super) fn replace_sse2(
+        symbols: &[u16],
+        window: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<(), DeflateError> {
+        out.reserve(symbols.len());
+        let window_base = WINDOW_SIZE - window.len();
+        let mut written = out.len();
+        let mut blocks = symbols.chunks_exact(16);
+        // SAFETY: `reserve` guaranteed capacity for all of `symbols`; each
+        // iteration stores 16 bytes inside that budget and `set_len` only
+        // covers fully initialized prefixes.
+        unsafe {
+            let base = out.as_mut_ptr();
+            for block in &mut blocks {
+                let v0 = _mm_loadu_si128(block.as_ptr().cast());
+                let v1 = _mm_loadu_si128(block.as_ptr().add(8).cast());
+                // Lane classification (see module docs).
+                let zero = _mm_setzero_si128();
+                let literal0 = _mm_cmpeq_epi16(_mm_srli_epi16(v0, 8), zero);
+                let literal1 = _mm_cmpeq_epi16(_mm_srli_epi16(v1, 8), zero);
+                let marker0 = _mm_srai_epi16(v0, 15);
+                let marker1 = _mm_srai_epi16(v1, 15);
+                let marker_bits = _mm_movemask_epi8(_mm_packs_epi16(marker0, marker1)) as u32;
+                let classified_bits = _mm_movemask_epi8(_mm_packs_epi16(
+                    _mm_or_si128(literal0, marker0),
+                    _mm_or_si128(literal1, marker1),
+                )) as u32;
+                if classified_bits != 0xFFFF {
+                    out.set_len(written);
+                    return replace_markers_into_scalar(resume(symbols, block), window, out);
+                }
+                let dst = base.add(written);
+                _mm_storeu_si128(dst.cast(), _mm_packus_epi16(v0, v1));
+                if !patch_markers(block, window, window_base, dst, marker_bits) {
+                    out.set_len(written);
+                    return replace_markers_into_scalar(resume(symbols, block), window, out);
+                }
+                written += 16;
+            }
+            out.set_len(written);
+        }
+        replace_markers_into_scalar(blocks.remainder(), window, out)
+    }
+
+    // `unsafe fn` (not the 1.86+ safe `#[target_feature]` form) keeps the
+    // crate buildable on the MSRV toolchain.
+    #[target_feature(enable = "avx2")]
+    unsafe fn replace_avx2_inner(
+        symbols: &[u16],
+        window: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<(), DeflateError> {
+        out.reserve(symbols.len());
+        let window_base = WINDOW_SIZE - window.len();
+        let mut written = out.len();
+        let mut blocks = symbols.chunks_exact(32);
+        // SAFETY: as in `replace_sse2`, stores stay within the reserved
+        // capacity and `set_len` only covers initialized prefixes.
+        unsafe {
+            let base = out.as_mut_ptr();
+            for block in &mut blocks {
+                let v0 = _mm256_loadu_si256(block.as_ptr().cast());
+                let v1 = _mm256_loadu_si256(block.as_ptr().add(16).cast());
+                let zero = _mm256_setzero_si256();
+                let literal0 = _mm256_cmpeq_epi16(_mm256_srli_epi16(v0, 8), zero);
+                let literal1 = _mm256_cmpeq_epi16(_mm256_srli_epi16(v1, 8), zero);
+                let marker0 = _mm256_srai_epi16(v0, 15);
+                let marker1 = _mm256_srai_epi16(v1, 15);
+                // 256-bit packs interleave 128-bit halves; permute the qwords
+                // back into symbol order so mask bit i = lane i.
+                let order = _mm256_permute4x64_epi64::<0b11_01_10_00>;
+                let marker_bits =
+                    _mm256_movemask_epi8(order(_mm256_packs_epi16(marker0, marker1))) as u32;
+                let classified_bits = _mm256_movemask_epi8(order(_mm256_packs_epi16(
+                    _mm256_or_si256(literal0, marker0),
+                    _mm256_or_si256(literal1, marker1),
+                ))) as u32;
+                if classified_bits != u32::MAX {
+                    out.set_len(written);
+                    return replace_markers_into_scalar(resume(symbols, block), window, out);
+                }
+                let dst = base.add(written);
+                _mm256_storeu_si256(dst.cast(), order(_mm256_packus_epi16(v0, v1)));
+                if !patch_markers(block, window, window_base, dst, marker_bits) {
+                    out.set_len(written);
+                    return replace_markers_into_scalar(resume(symbols, block), window, out);
+                }
+                written += 32;
+            }
+            out.set_len(written);
+        }
+        replace_markers_into_scalar(blocks.remainder(), window, out)
+    }
+
+    pub(super) fn replace_avx2(
+        symbols: &[u16],
+        window: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<(), DeflateError> {
+        // SAFETY: `kernel()` returned Avx2, so the CPU supports it.
+        unsafe { replace_avx2_inner(symbols, window, out) }
+    }
+
+    /// The tail of `symbols` starting at `block` (used to re-run an aborting
+    /// block through the scalar reference).
+    fn resume<'a>(symbols: &'a [u16], block: &[u16]) -> &'a [u16] {
+        // chunks_exact guarantees `block` borrows from `symbols`.
+        let start =
+            (block.as_ptr() as usize - symbols.as_ptr() as usize) / std::mem::size_of::<u16>();
+        &symbols[start..]
+    }
+}
+
 /// [`replace_markers`] variant for the verification pipeline: resolves the
 /// symbols and returns, alongside the bytes, the CRC-32 of every *fragment*
 /// of the output delimited by `fragment_ends` (sorted end offsets in symbol
@@ -187,7 +430,15 @@ pub fn replace_markers_hashed(
     fragment_ends: &[usize],
 ) -> Result<(Vec<u8>, Vec<u32>), DeflateError> {
     let out = replace_markers(symbols, window)?;
-    debug_assert!(fragment_ends.iter().all(|&end| end <= out.len()));
+    // A split past the chunk end means the caller's member-boundary
+    // bookkeeping is wrong; slicing would panic (or silently mis-hash in a
+    // release build), so reject it as a typed error in every build.
+    if let Some(&end) = fragment_ends.iter().find(|&&end| end > out.len()) {
+        return Err(DeflateError::FragmentEndOutOfRange {
+            end,
+            output_length: out.len(),
+        });
+    }
     let crcs = rgz_checksum::crc32_fragments(&out, fragment_ends);
     Ok((out, crcs))
 }
@@ -206,17 +457,16 @@ pub fn resolve_window(symbols: &[u16], window: &[u8]) -> Result<Vec<u8>, Deflate
         replace_markers(tail, window)
     } else {
         // The chunk is shorter than a window: the following chunk's window is
-        // the tail of (previous window + this chunk's data).
-        let resolved = replace_markers(symbols, window)?;
-        let mut combined = Vec::with_capacity(WINDOW_SIZE);
-        let needed_from_window = WINDOW_SIZE.saturating_sub(resolved.len());
-        let take = needed_from_window.min(window.len());
+        // the tail of (previous window + this chunk's data).  Each symbol
+        // resolves to exactly one byte, so the split is known up front:
+        // `take` window bytes followed by the whole resolved chunk, which is
+        // resolved straight into the result buffer (one allocation, no
+        // intermediate copies).
+        let take = (WINDOW_SIZE - symbols.len()).min(window.len());
+        let mut combined = Vec::with_capacity(take + symbols.len());
         combined.extend_from_slice(&window[window.len() - take..]);
-        combined.extend_from_slice(&resolved);
-        if combined.len() > WINDOW_SIZE {
-            let excess = combined.len() - WINDOW_SIZE;
-            combined.drain(..excess);
-        }
+        replace_markers_into(symbols, window, &mut combined)?;
+        debug_assert!(combined.len() <= WINDOW_SIZE);
         Ok(combined)
     }
 }
@@ -294,6 +544,48 @@ mod tests {
     }
 
     #[test]
+    fn hashed_replacement_rejects_out_of_range_fragment_ends() {
+        // This must hold in release builds too (it used to be a
+        // debug_assert!, letting release builds slice out of bounds or
+        // mis-hash), so the check is a typed error, not an assertion.
+        let symbols: Vec<u16> = (0..10u16).collect();
+        let result = replace_markers_hashed(&symbols, &[], &[5, 11]);
+        assert_eq!(
+            result.unwrap_err(),
+            DeflateError::FragmentEndOutOfRange {
+                end: 11,
+                output_length: 10,
+            }
+        );
+        // An end exactly at the output length is still valid.
+        let (out, crcs) = replace_markers_hashed(&symbols, &[], &[10]).unwrap();
+        assert_eq!(out.len(), 10);
+        assert_eq!(crcs.len(), 2);
+    }
+
+    #[test]
+    fn window_usage_intervals_at_window_boundary() {
+        // Runs touching the very last window byte exercise the final
+        // `(WINDOW_SIZE - start)` narrowing.
+        let mut usage = WindowUsage::new();
+        usage.mark(WINDOW_SIZE - 1, 100); // clamped to one byte
+        assert_eq!(usage.intervals(), vec![((WINDOW_SIZE - 1) as u32, 1)]);
+
+        let mut full = WindowUsage::new();
+        full.mark(0, WINDOW_SIZE);
+        assert_eq!(full.intervals(), vec![(0, WINDOW_SIZE as u32)]);
+        assert_eq!(full.used_bytes(), WINDOW_SIZE);
+
+        let mut split = WindowUsage::new();
+        split.mark(0, 1);
+        split.mark(WINDOW_SIZE - 70, WINDOW_SIZE); // clamped at the end
+        assert_eq!(
+            split.intervals(),
+            vec![(0, 1), ((WINDOW_SIZE - 70) as u32, 70)]
+        );
+    }
+
+    #[test]
     fn symbols_between_256_and_marker_base_are_invalid() {
         assert!(matches!(
             replace_markers(&[300], &[]),
@@ -364,7 +656,135 @@ mod tests {
         assert!(WindowUsage::from_symbols(&[1, 2, 255]).is_empty());
     }
 
+    #[test]
+    fn active_isa_names_a_known_kernel() {
+        assert!(["avx2", "sse2", "scalar"].contains(&active_isa()));
+    }
+
+    /// Asserts the dispatched replacement and the scalar reference agree on
+    /// `symbols`/`window`: same `Result`, same output bytes — including the
+    /// partial output preceding an error — and untouched prefix preserved.
+    fn assert_simd_matches_scalar(symbols: &[u16], window: &[u8]) {
+        let prefix = b"prefix-".to_vec();
+        let mut simd_out = prefix.clone();
+        let mut scalar_out = prefix;
+        let simd_result = replace_markers_into(symbols, window, &mut simd_out);
+        let scalar_result = replace_markers_into_scalar(symbols, window, &mut scalar_out);
+        assert_eq!(simd_result, scalar_result, "result mismatch");
+        assert_eq!(simd_out, scalar_out, "output mismatch (partial included)");
+    }
+
+    #[test]
+    fn simd_matches_scalar_on_lane_boundary_lengths() {
+        let window: Vec<u8> = (0..WINDOW_SIZE).map(|i| (i % 253) as u8).collect();
+        for length in [
+            0usize, 1, 7, 15, 16, 17, 31, 32, 33, 47, 48, 63, 64, 65, 100, 512,
+        ] {
+            // All literals.
+            let literals: Vec<u16> = (0..length).map(|i| (i % 256) as u16).collect();
+            assert_simd_matches_scalar(&literals, &window);
+            // Alternating literal / marker.
+            let mixed: Vec<u16> = (0..length)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        (i % 256) as u16
+                    } else {
+                        MARKER_BASE + (i % WINDOW_SIZE) as u16
+                    }
+                })
+                .collect();
+            assert_simd_matches_scalar(&mixed, &window);
+            // All markers (marker-dense worst case).
+            let markers: Vec<u16> = (0..length)
+                .map(|i| MARKER_BASE + ((i * 37) % WINDOW_SIZE) as u16)
+                .collect();
+            assert_simd_matches_scalar(&markers, &window);
+        }
+    }
+
+    #[test]
+    fn simd_matches_scalar_on_error_paths() {
+        let window: Vec<u8> = (0..100u8).collect();
+        // Invalid symbol at every lane position of the first two blocks.
+        for position in 0..64usize {
+            let mut symbols: Vec<u16> = (0..96).map(|i| (i % 256) as u16).collect();
+            symbols[position] = 300;
+            assert_simd_matches_scalar(&symbols, &window);
+            // Out-of-window marker (window covers only the last 100 slots).
+            symbols[position] = MARKER_BASE;
+            assert_simd_matches_scalar(&symbols, &window);
+        }
+        // Valid marker *after* an out-of-window one in the same block: the
+        // partial output must stop exactly where the scalar loop stops.
+        let mut symbols: Vec<u16> = (0..32).map(|i| (i % 256) as u16).collect();
+        symbols[5] = MARKER_BASE + (WINDOW_SIZE - 1) as u16;
+        symbols[3] = MARKER_BASE; // aborts before lane 5 in symbol order
+        assert_simd_matches_scalar(&symbols, &window);
+    }
+
     proptest! {
+        // Differential: the runtime-dispatched kernel (AVX2/SSE2 on x86-64)
+        // must match the portable scalar reference bit-for-bit on arbitrary
+        // symbol streams — valid, invalid, and out-of-window alike.  On
+        // machines without SIMD this degenerates to scalar == scalar and
+        // still runs, keeping the harness portable.
+        #[test]
+        fn simd_and_scalar_replacement_agree(
+            window in proptest::collection::vec(any::<u8>(), 0..WINDOW_SIZE),
+            symbols in proptest::collection::vec(any::<u16>(), 0..600),
+        ) {
+            assert_simd_matches_scalar(&symbols, &window);
+        }
+
+        // Same, but biased toward *valid* streams so the success path gets
+        // deep coverage too (any::<u16> streams nearly always abort within
+        // a few symbols).
+        #[test]
+        fn simd_and_scalar_replacement_agree_on_valid_streams(
+            window in proptest::collection::vec(any::<u8>(), 1..WINDOW_SIZE),
+            symbols in proptest::collection::vec(0u16..256, 0..600),
+            marker_positions in proptest::collection::vec((0usize..600, 0u16..32768), 0..80),
+        ) {
+            let mut symbols = symbols;
+            if !symbols.is_empty() {
+                for (position, offset) in marker_positions {
+                    let position = position % symbols.len();
+                    let offset = (WINDOW_SIZE - 1 - (offset as usize % window.len())) as u16;
+                    symbols[position] = MARKER_BASE + offset;
+                }
+            }
+            assert_simd_matches_scalar(&symbols, &window);
+        }
+
+        // `resolve_window` must equal the tail of (window ++ full-chunk
+        // replacement) for chunks shorter than, longer than, and exactly at
+        // WINDOW_SIZE — the short-chunk path computes its window/chunk split
+        // up front and must not drop or duplicate a byte at the boundary.
+        #[test]
+        fn resolve_window_equals_tail_of_full_replacement(
+            window_length in prop_oneof![0usize..80, (WINDOW_SIZE - 3)..=WINDOW_SIZE],
+            chunk_length in prop_oneof![
+                0usize..80,
+                (WINDOW_SIZE - 40)..(WINDOW_SIZE + 40),
+            ],
+            marker_positions in proptest::collection::vec((0usize..40000, 0usize..40000), 0..60),
+        ) {
+            let window: Vec<u8> = (0..window_length).map(|i| (i % 239) as u8).collect();
+            let mut symbols: Vec<u16> =
+                (0..chunk_length).map(|i| (i % 256) as u16).collect();
+            if !window.is_empty() && !symbols.is_empty() {
+                for (position, offset) in marker_positions {
+                    let offset = WINDOW_SIZE - 1 - offset % window.len();
+                    symbols[position % chunk_length] = MARKER_BASE + offset as u16;
+                }
+            }
+            let resolved = replace_markers(&symbols, &window).unwrap();
+            let mut all = window.clone();
+            all.extend_from_slice(&resolved);
+            let expected = &all[all.len().saturating_sub(WINDOW_SIZE)..];
+            prop_assert_eq!(resolve_window(&symbols, &window).unwrap(), expected);
+        }
+
         #[test]
         fn replacement_is_equivalent_to_naive_loop(
             window in proptest::collection::vec(any::<u8>(), 0..WINDOW_SIZE),

@@ -7,6 +7,9 @@
 //! [`FAST_TABLE_BITS`]-bit table resolves as much as fits into the peeked
 //! window —
 //!
+//! * **three literals** when all three codes together are at most
+//!   [`FAST_TABLE_BITS`] bits (dense literal codes assign 4–6 bit codes to
+//!   the hottest bytes, so text-heavy streams hit this often),
 //! * **two literals** when both codes together are at most
 //!   [`FAST_TABLE_BITS`] bits,
 //! * **a literal followed by a length symbol**, with the symbol's base match
@@ -83,6 +86,10 @@ pub enum FastEntryKind {
     /// Two literals; consume [`FastEntry::consumed_bits`], emit
     /// [`FastEntry::literal`] then [`FastEntry::second_literal`].
     LiteralPair,
+    /// Three literals; consume [`FastEntry::consumed_bits`], emit
+    /// [`FastEntry::literal`], [`FastEntry::second_literal`], then
+    /// [`FastEntry::third_literal`].
+    LiteralTriple,
     /// The end-of-block symbol; consume [`FastEntry::consumed_bits`].
     EndOfBlock,
     /// A length symbol; consume [`FastEntry::consumed_bits`], then read
@@ -95,14 +102,18 @@ pub enum FastEntryKind {
 }
 
 // Packed entry layout (u32):
-//   bits  0..=7   literal 1                  (Literal, LiteralPair, LiteralLength)
-//   bits  8..=15  literal 2                  (LiteralPair)
+//   bits  0..=7   literal 1                  (Literal, LiteralPair/Triple, LiteralLength)
+//   bits  8..=15  literal 2                  (LiteralPair, LiteralTriple)
+//   bits 16..=23  literal 3                  (LiteralTriple)
 //   bits  8..=16  length base, 3..=258       (Length, LiteralLength)
 //   bits 17..=19  length extra-bit count     (Length, LiteralLength)
-//   bits 20..=24  consumed code bits         (all kinds except Fallback)
-//   bits 25..=27  kind tag
-const KIND_SHIFT: u32 = 25;
-const CONSUMED_SHIFT: u32 = 20;
+//   bits 24..=27  consumed code bits         (all kinds except Fallback)
+//   bits 28..=30  kind tag
+//
+// Four consumed bits suffice: even three packed codes together occupy at
+// most FAST_TABLE_BITS (13) bits.
+const KIND_SHIFT: u32 = 28;
+const CONSUMED_SHIFT: u32 = 24;
 const EXTRA_SHIFT: u32 = 17;
 const BASE_SHIFT: u32 = 8;
 
@@ -112,6 +123,7 @@ const TAG_LITERAL_PAIR: u32 = 2;
 const TAG_END_OF_BLOCK: u32 = 3;
 const TAG_LENGTH: u32 = 4;
 const TAG_LITERAL_LENGTH: u32 = 5;
+const TAG_LITERAL_TRIPLE: u32 = 6;
 
 /// One packed fast-table entry; accessor validity depends on
 /// [`FastEntry::kind`] (see the layout comment above).
@@ -128,6 +140,7 @@ impl FastEntry {
             TAG_END_OF_BLOCK => FastEntryKind::EndOfBlock,
             TAG_LENGTH => FastEntryKind::Length,
             TAG_LITERAL_LENGTH => FastEntryKind::LiteralLength,
+            TAG_LITERAL_TRIPLE => FastEntryKind::LiteralTriple,
             _ => FastEntryKind::Fallback,
         }
     }
@@ -136,7 +149,7 @@ impl FastEntry {
     /// bits). Zero for fallback entries.
     #[inline]
     pub fn consumed_bits(self) -> u32 {
-        (self.0 >> CONSUMED_SHIFT) & 0x1F
+        (self.0 >> CONSUMED_SHIFT) & 0xF
     }
 
     /// First packed literal.
@@ -145,10 +158,17 @@ impl FastEntry {
         self.0 as u8
     }
 
-    /// Second packed literal (only for [`FastEntryKind::LiteralPair`]).
+    /// Second packed literal (only for [`FastEntryKind::LiteralPair`] and
+    /// [`FastEntryKind::LiteralTriple`]).
     #[inline]
     pub fn second_literal(self) -> u8 {
         (self.0 >> 8) as u8
+    }
+
+    /// Third packed literal (only for [`FastEntryKind::LiteralTriple`]).
+    #[inline]
+    pub fn third_literal(self) -> u8 {
+        (self.0 >> 16) as u8
     }
 
     /// Base match length of the packed length symbol.
@@ -246,10 +266,25 @@ impl MultiSymbolDecoder {
                         let sym2 = second & 0xFFFF;
                         if second != 0 && len2 <= remaining_bits {
                             if sym2 < 256 {
-                                (TAG_LITERAL_PAIR << KIND_SHIFT)
-                                    | ((len1 + len2) << CONSUMED_SHIFT)
-                                    | (sym2 << 8)
-                                    | sym1
+                                // Second symbol is a literal too — try a
+                                // third.  `index >> (len1 + len2)` is below
+                                // `index` (len1 + len2 >= 2), so the lookup
+                                // still sees a stage-1 value.
+                                let third = table[index >> (len1 + len2)];
+                                let len3 = third >> 16;
+                                let sym3 = third & 0xFFFF;
+                                if third != 0 && len3 <= remaining_bits - len2 && sym3 < 256 {
+                                    (TAG_LITERAL_TRIPLE << KIND_SHIFT)
+                                        | ((len1 + len2 + len3) << CONSUMED_SHIFT)
+                                        | (sym3 << 16)
+                                        | (sym2 << 8)
+                                        | sym1
+                                } else {
+                                    (TAG_LITERAL_PAIR << KIND_SHIFT)
+                                        | ((len1 + len2) << CONSUMED_SHIFT)
+                                        | (sym2 << 8)
+                                        | sym1
+                                }
                             } else if let Some((base, extra)) = length_symbol_info(sym2 as u16) {
                                 (TAG_LITERAL_LENGTH << KIND_SHIFT)
                                     | ((len1 + len2) << CONSUMED_SHIFT)
@@ -337,6 +372,12 @@ mod tests {
                     symbols.push(entry.literal() as u16);
                     symbols.push(entry.second_literal() as u16);
                 }
+                FastEntryKind::LiteralTriple => {
+                    reader.consume_cached(entry.consumed_bits());
+                    symbols.push(entry.literal() as u16);
+                    symbols.push(entry.second_literal() as u16);
+                    symbols.push(entry.third_literal() as u16);
+                }
                 FastEntryKind::EndOfBlock => {
                     reader.consume_cached(entry.consumed_bits());
                     symbols.push(256);
@@ -390,14 +431,30 @@ mod tests {
     }
 
     #[test]
-    fn packs_pairs_for_short_codes() {
-        // Four 2-bit literal codes: every entry must pack a pair.
+    fn packs_triples_for_short_codes() {
+        // Four 2-bit literal codes: three codes fit in every 13-bit window,
+        // so every entry must pack a triple (6 consumed bits).
         let lengths = [2u8, 2, 2, 2];
         let fast = MultiSymbolDecoder::from_code_lengths(&lengths).unwrap();
         for peeked in 0..(1u64 << FAST_TABLE_BITS) {
             let entry = fast.entry(peeked);
+            assert_eq!(entry.kind(), FastEntryKind::LiteralTriple, "index {peeked}");
+            assert_eq!(entry.consumed_bits(), 6);
+        }
+    }
+
+    #[test]
+    fn packs_pairs_when_a_third_code_does_not_fit() {
+        // Sixty-four 6-bit literal codes: two codes fit in the 13-bit window
+        // (12 bits), a third (18 bits) never does — every entry must stay a
+        // pair with 12 consumed bits.
+        let lengths = vec![6u8; 64];
+        assert_eq!(classify_code_lengths(&lengths), CodeCompleteness::Complete);
+        let fast = MultiSymbolDecoder::from_code_lengths(&lengths).unwrap();
+        for peeked in 0..(1u64 << FAST_TABLE_BITS) {
+            let entry = fast.entry(peeked);
             assert_eq!(entry.kind(), FastEntryKind::LiteralPair, "index {peeked}");
-            assert_eq!(entry.consumed_bits(), 4);
+            assert_eq!(entry.consumed_bits(), 12);
         }
     }
 
