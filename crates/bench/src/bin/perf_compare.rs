@@ -14,7 +14,10 @@
 //!   0.15, override with `--threshold 0.10`);
 //! * a baseline line may carry a `"floors"` object of absolute minimums
 //!   (machine-independent gates like the multi-symbol speedup ratios); fail
-//!   when `current < floor` regardless of the relative threshold.
+//!   when `current < floor` regardless of the relative threshold;
+//! * every baseline key must be present in the current report: a missing
+//!   bench line or metric counts as a failure, so a bench bin dropping out
+//!   of the CI invocation list cannot pass unnoticed.
 //!
 //! Absolute bandwidths vary with the runner hardware, so the baseline keeps
 //! the relative threshold loose; the `speedup_*` ratios are hardware-
@@ -108,12 +111,19 @@ fn main() -> ExitCode {
     );
     for (bench, base_report) in &baseline {
         let Some(current_report) = current.get(bench) else {
-            eprintln!("warning: bench {bench} missing from {current_path}; skipping");
+            // A bench bin silently dropping out of CI must not pass: every
+            // baseline key it carried counts as a failed check.
+            let missing = (base_report.metrics.len() + base_report.floors.len()).max(1);
+            eprintln!(
+                "error: bench {bench} missing from {current_path} ({missing} baseline key(s) unchecked)"
+            );
+            failures += missing;
             continue;
         };
         for (metric, &base_value) in &base_report.metrics {
             let Some(&current_value) = current_report.metrics.get(metric) else {
-                eprintln!("warning: metric {bench}/{metric} missing from {current_path}; skipping");
+                eprintln!("error: metric {bench}/{metric} missing from {current_path}");
+                failures += 1;
                 continue;
             };
             compared += 1;

@@ -1,0 +1,143 @@
+//! Table 8: the parallel write path — compression bandwidth, scaling, and
+//! the round-trip compression ratio.
+//!
+//! Measures `rgz_compress` over the two CI corpora (silesia-like text and
+//! base64) at the default and fast levels, in pigz and BGZF layouts, plus a
+//! single-threaded control run.  Every timed stream is decoded back and
+//! byte-compared before its ratio is reported, so `compress_roundtrip_ratio`
+//! only ever describes output the reader stack actually accepts.
+//!
+//! `--json` emits one [`rgz_bench::JsonReport`] line; `perf_compare` gates
+//! `compress_roundtrip_ratio` (the silesia default-level ratio, hardware
+//! independent) and the absolute `compress_silesia_mb_s` floor, catching
+//! both "the compressor stopped compressing" and "the compressor fell off a
+//! performance cliff".
+
+use std::time::Duration;
+
+use rgz_bench::*;
+use rgz_compress::{
+    CompressionLevel, ContainerFormat, ParallelCompressor, ParallelCompressorOptions,
+};
+
+fn options(
+    level: CompressionLevel,
+    container: ContainerFormat,
+    parallelization: usize,
+) -> ParallelCompressorOptions {
+    ParallelCompressorOptions {
+        level,
+        container,
+        chunk_size: 128 << 10,
+        member_size: 2 << 20,
+        parallelization,
+        ..Default::default()
+    }
+}
+
+/// Best-of-N timed compression; the output of the last run is returned for
+/// the round-trip check and ratio.
+fn timed_compress(
+    data: &std::sync::Arc<[u8]>,
+    options: ParallelCompressorOptions,
+    repetitions: usize,
+) -> (Duration, Vec<u8>) {
+    let compressor = ParallelCompressor::new(options);
+    let mut best = Duration::MAX;
+    let mut bytes = Vec::new();
+    for _ in 0..repetitions {
+        let start = std::time::Instant::now();
+        let stream = compressor.compress_shared(std::sync::Arc::clone(data));
+        best = best.min(start.elapsed());
+        bytes = stream.bytes;
+    }
+    (best, bytes)
+}
+
+fn main() {
+    let json = json_mode();
+    let mut report = JsonReport::new("table8_compress");
+    if !json {
+        print_header(
+            "Table 8 — parallel compression (pigz/BGZF write path)",
+            "bandwidth and round-trip ratio; every stream is decoded back before reporting",
+        );
+        println!(
+            "{:<26} {:>10} {:>10} {:>8}",
+            "configuration", "MB/s", "out KiB", "ratio"
+        );
+    }
+
+    let total = scaled(32 << 20, 4 << 20);
+    let repetitions = scaled(3, 2);
+    let silesia: std::sync::Arc<[u8]> = rgz_datagen::silesia_like(total, 81).into();
+    let base64: std::sync::Arc<[u8]> = rgz_datagen::base64_random(total, 82).into();
+    let input_mb = total as f64 / 1e6;
+
+    let row =
+        |name: &str, data: &std::sync::Arc<[u8]>, opts: ParallelCompressorOptions| -> (f64, f64) {
+            let (elapsed, bytes) = timed_compress(data, opts, repetitions);
+            assert_eq!(
+                rgz_gzip::decompress(&bytes).expect("bench output must decode"),
+                data[..],
+                "{name}: round trip"
+            );
+            let mb_s = input_mb / elapsed.as_secs_f64().max(1e-9);
+            let ratio = data.len() as f64 / (bytes.len() as f64).max(1.0);
+            if !json {
+                println!(
+                    "{:<26} {:>10.1} {:>10} {:>8.2}",
+                    name,
+                    mb_s,
+                    bytes.len() >> 10,
+                    ratio
+                );
+            }
+            (mb_s, ratio)
+        };
+
+    let cores = available_cores();
+    let (parallel_mb_s, silesia_ratio) = row(
+        "silesia default pigz",
+        &silesia,
+        options(CompressionLevel::Default, ContainerFormat::Pigz, cores),
+    );
+    report.record("compress_silesia_mb_s", parallel_mb_s);
+    let (fast_mb_s, _) = row(
+        "silesia fast pigz",
+        &silesia,
+        options(CompressionLevel::Fast, ContainerFormat::Pigz, cores),
+    );
+    report.record("compress_silesia_fast_mb_s", fast_mb_s);
+    let (bgzf_mb_s, _) = row(
+        "silesia default bgzf",
+        &silesia,
+        options(CompressionLevel::Default, ContainerFormat::Bgzf, cores),
+    );
+    report.record("compress_bgzf_mb_s", bgzf_mb_s);
+    let (base64_mb_s, _) = row(
+        "base64 default pigz",
+        &base64,
+        options(CompressionLevel::Default, ContainerFormat::Pigz, cores),
+    );
+    report.record("compress_base64_mb_s", base64_mb_s);
+
+    // Single-threaded control for the hardware-independent scaling ratio.
+    let (serial_mb_s, _) = row(
+        "silesia default 1-thread",
+        &silesia,
+        options(CompressionLevel::Default, ContainerFormat::Pigz, 1),
+    );
+    let speedup = parallel_mb_s / serial_mb_s.max(1e-9);
+    if !json {
+        println!("parallel speedup over 1 thread ({cores} cores): {speedup:.2}x");
+        println!("silesia round-trip ratio: {silesia_ratio:.2}");
+    }
+    report.record("compress_serial_mb_s", serial_mb_s);
+    report.record("compress_parallel_speedup", speedup);
+    report.record("compress_roundtrip_ratio", silesia_ratio);
+
+    if json {
+        report.emit();
+    }
+}

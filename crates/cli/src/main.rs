@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! rgzip [OPTIONS] <FILE>
+//! rgzip compress [OPTIONS] <FILE>
 //!
 //!   -d, --decompress          decompress FILE to stdout (default action)
 //!   -P, --threads <N>         number of decompression threads (default: all cores)
@@ -33,6 +34,21 @@
 //!                             stderr
 //!   -o, --output <PATH>       write output to PATH instead of stdout
 //!   -h, --help                show this help
+//!
+//! The `compress` verb runs the chunk-parallel write path instead:
+//!
+//!   -l, --level <0-9>         gzip-style compression level (default: 6)
+//!       --bgzf                emit BGZF (64 KiB-input blocks with the BC
+//!                             extra subfield) instead of pigz-style members
+//!   -P, --threads <N>         number of compression threads
+//!       --chunk-size <KiB>    input bytes per parallel work unit (default: 128)
+//!       --member-size <KiB>   input bytes per gzip member (pigz mode,
+//!                             default: 2048)
+//!       --export-index <PATH> write the index captured during compression
+//!                             (seek points + CRC-32 fragments) to PATH
+//!       --index-format <FMT>  exported index format (default: v3)
+//!   -o, --output <PATH>       output path (default: FILE.gz)
+//!   -v, --verbose             print member/chunk/index statistics to stderr
 //! ```
 
 use std::io::Write;
@@ -73,6 +89,7 @@ fn print_usage() {
     eprintln!("             [--verify|--no-verify] [--serial] [-v]");
     eprintln!("             [--trace PATH] [--metrics[=json]]");
     eprintln!("             [-o OUTPUT] FILE");
+    eprintln!("       rgzip compress [OPTIONS] FILE   (see `rgzip compress --help`)");
 }
 
 fn parse_arguments() -> Result<Options, String> {
@@ -407,7 +424,196 @@ fn run(options: &Options) -> Result<(), String> {
     Ok(())
 }
 
+struct CompressOptions {
+    file: String,
+    level: u8,
+    bgzf: bool,
+    threads: usize,
+    chunk_size_kib: usize,
+    member_size_kib: usize,
+    export_index: Option<String>,
+    index_format: AnyIndexFormat,
+    output: Option<String>,
+    verbose: bool,
+}
+
+fn print_compress_usage() {
+    eprintln!("usage: rgzip compress [-l 0-9] [--bgzf] [-P N] [--chunk-size KiB]");
+    eprintln!("                      [--member-size KiB] [--export-index PATH]");
+    eprintln!("                      [--index-format v1|v2|v3|gztool|indexed-gzip]");
+    eprintln!("                      [-v] [-o OUTPUT] FILE");
+}
+
+fn parse_compress_arguments(
+    arguments: impl Iterator<Item = String>,
+) -> Result<CompressOptions, String> {
+    let mut arguments = arguments;
+    let mut options = CompressOptions {
+        file: String::new(),
+        level: 6,
+        bgzf: false,
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
+        chunk_size_kib: 128,
+        member_size_kib: 2048,
+        export_index: None,
+        index_format: AnyIndexFormat::default(),
+        output: None,
+        verbose: false,
+    };
+    let next_value = |arguments: &mut dyn Iterator<Item = String>, flag: &str| {
+        arguments
+            .next()
+            .ok_or_else(|| format!("missing value for {flag}"))
+    };
+    while let Some(argument) = arguments.next() {
+        match argument.as_str() {
+            "-h" | "--help" => {
+                print_compress_usage();
+                std::process::exit(0);
+            }
+            "--bgzf" => options.bgzf = true,
+            "-v" | "--verbose" => options.verbose = true,
+            "-l" | "--level" => {
+                options.level = next_value(&mut arguments, "-l")?
+                    .parse()
+                    .map_err(|e| format!("invalid level: {e}"))?;
+                if options.level > 9 {
+                    return Err(format!("invalid level: {} (expected 0-9)", options.level));
+                }
+            }
+            "-P" | "--threads" => {
+                options.threads = next_value(&mut arguments, "-P")?
+                    .parse()
+                    .map_err(|e| format!("invalid thread count: {e}"))?;
+            }
+            "--chunk-size" => {
+                options.chunk_size_kib = next_value(&mut arguments, "--chunk-size")?
+                    .parse()
+                    .map_err(|e| format!("invalid chunk size: {e}"))?;
+            }
+            "--member-size" => {
+                options.member_size_kib = next_value(&mut arguments, "--member-size")?
+                    .parse()
+                    .map_err(|e| format!("invalid member size: {e}"))?;
+            }
+            "--export-index" => {
+                options.export_index = Some(next_value(&mut arguments, "--export-index")?);
+            }
+            "--index-format" => {
+                options.index_format = next_value(&mut arguments, "--index-format")?.parse()?;
+            }
+            "-o" | "--output" => {
+                options.output = Some(next_value(&mut arguments, "-o")?);
+            }
+            other if !other.starts_with('-') && options.file.is_empty() => {
+                options.file = other.to_string();
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if options.file.is_empty() {
+        return Err("no input file given".to_string());
+    }
+    Ok(options)
+}
+
+fn run_compress(options: &CompressOptions) -> Result<(), String> {
+    use rgz_compress::{
+        CompressionLevel, ContainerFormat, ParallelCompressor, ParallelCompressorOptions,
+    };
+
+    let data =
+        std::fs::read(&options.file).map_err(|e| format!("cannot read {}: {e}", options.file))?;
+    let input_bytes = data.len() as u64;
+
+    let compressor = ParallelCompressor::new(ParallelCompressorOptions {
+        level: CompressionLevel::from_numeric(options.level),
+        container: if options.bgzf {
+            ContainerFormat::Bgzf
+        } else {
+            ContainerFormat::Pigz
+        },
+        chunk_size: options.chunk_size_kib.max(1) * 1024,
+        member_size: options.member_size_kib.max(1) * 1024,
+        parallelization: options.threads.max(1),
+        ..Default::default()
+    });
+    let compress_start = std::time::Instant::now();
+    let stream = compressor.compress_shared(std::sync::Arc::from(data));
+    let compress_elapsed = compress_start.elapsed();
+
+    let output_path = options
+        .output
+        .clone()
+        .unwrap_or_else(|| format!("{}.gz", options.file));
+    if output_path == "-" {
+        let stdout = std::io::stdout();
+        let mut sink = stdout.lock();
+        sink.write_all(&stream.bytes).map_err(|e| e.to_string())?;
+        sink.flush().map_err(|e| e.to_string())?;
+    } else {
+        std::fs::write(&output_path, &stream.bytes)
+            .map_err(|e| format!("cannot write {output_path}: {e}"))?;
+    }
+
+    if let Some(path) = &options.export_index {
+        let (serialized, report) =
+            rgz_interop::export_index_with_report(&stream.index, options.index_format);
+        std::fs::write(path, &serialized).map_err(|e| e.to_string())?;
+        eprintln!(
+            "rgzip: exported {} index with {} seek points ({} bytes) to {path}",
+            options.index_format,
+            stream.index.block_map.len(),
+            serialized.len()
+        );
+        if report.checksummed_points_dropped > 0 {
+            eprintln!(
+                "rgzip: warning: {} format cannot store CRC-32 fragments; dropped \
+                 checksums for {} seek point(s) (use --index-format v3 to keep them)",
+                options.index_format, report.checksummed_points_dropped
+            );
+        }
+    }
+
+    if options.verbose {
+        eprintln!(
+            "rgzip: layout: {} member(s), {} chunk(s), {} seek point(s), all with CRC fragments",
+            stream.members,
+            stream.chunks,
+            stream.index.block_map.len()
+        );
+    }
+    eprintln!(
+        "rgzip: {} bytes compressed to {} ({:.2}x) in {:.2} s ({:.1} MB/s, {} threads)",
+        input_bytes,
+        stream.bytes.len(),
+        input_bytes as f64 / (stream.bytes.len() as f64).max(1.0),
+        compress_elapsed.as_secs_f64(),
+        input_bytes as f64 / 1e6 / compress_elapsed.as_secs_f64().max(1e-9),
+        options.threads.max(1)
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
+    if std::env::args().nth(1).as_deref() == Some("compress") {
+        return match parse_compress_arguments(std::env::args().skip(2)) {
+            Ok(options) => match run_compress(&options) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(message) => {
+                    eprintln!("rgzip: {message}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(message) => {
+                eprintln!("rgzip: {message}");
+                print_compress_usage();
+                ExitCode::from(2)
+            }
+        };
+    }
     match parse_arguments() {
         Ok(options) => match run(&options) {
             Ok(()) => ExitCode::SUCCESS,

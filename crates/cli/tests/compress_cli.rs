@@ -1,0 +1,178 @@
+//! Process-level tests for the `rgz compress` verb: the emitted file must
+//! decode through both the serial library decoder and the parallel `rgz`
+//! decompress path, and the index written at compress time must drive fully
+//! verified random-access reads when imported back.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn binary() -> &'static str {
+    env!("CARGO_BIN_EXE_rgz")
+}
+
+fn run_rgz(arguments: &[&str]) -> Output {
+    Command::new(binary())
+        .args(arguments)
+        .output()
+        .expect("failed to spawn the rgz binary")
+}
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let path = std::env::temp_dir().join(format!("rgz_compress_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&path).unwrap();
+        Self(path)
+    }
+
+    fn file(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+fn path_str(path: &Path) -> &str {
+    path.to_str().unwrap()
+}
+
+#[test]
+fn compress_then_decompress_round_trips_with_a_verified_index() {
+    let dir = TempDir::new("roundtrip");
+    let data = rgz_datagen::silesia_like(900_000, 41);
+    let raw = dir.file("corpus.bin");
+    std::fs::write(&raw, &data).unwrap();
+
+    let gz = dir.file("corpus.bin.gz");
+    let index = dir.file("corpus.rgzidx");
+    let compress = run_rgz(&[
+        "compress",
+        "-l",
+        "6",
+        "-P",
+        "3",
+        "--chunk-size",
+        "48",
+        "--member-size",
+        "192",
+        "--export-index",
+        path_str(&index),
+        "-v",
+        path_str(&raw),
+    ]);
+    assert!(
+        compress.status.success(),
+        "compress run failed: {}",
+        String::from_utf8_lossy(&compress.stderr)
+    );
+    // Default output path is FILE.gz; the stream must be a valid multi-member
+    // gzip file for the serial decoder.
+    let compressed = std::fs::read(&gz).unwrap();
+    assert_eq!(rgz_gzip::decompress(&compressed).unwrap(), data);
+    assert!(compressed.len() < data.len());
+
+    // Decompress through the parallel reader with the compress-time index;
+    // every chunk must verify against the stored CRC fragments.
+    let restored = dir.file("restored.bin");
+    let decompress = run_rgz(&[
+        "-P",
+        "3",
+        "--import-index",
+        path_str(&index),
+        "-v",
+        "-o",
+        path_str(&restored),
+        path_str(&gz),
+    ]);
+    assert!(
+        decompress.status.success(),
+        "decompress run failed: {}",
+        String::from_utf8_lossy(&decompress.stderr)
+    );
+    assert_eq!(std::fs::read(&restored).unwrap(), data);
+    let stderr = String::from_utf8_lossy(&decompress.stderr);
+    let verification_line = stderr
+        .lines()
+        .find(|line| line.contains("random access:"))
+        .unwrap_or_else(|| panic!("no verification line in stderr:\n{stderr}"));
+    assert!(
+        verification_line.contains(" 0 unverified"),
+        "expected zero unverified chunks: {verification_line}"
+    );
+    assert!(
+        !verification_line.contains("random access: 0 chunk(s) verified"),
+        "expected at least one verified chunk: {verification_line}"
+    );
+}
+
+#[test]
+fn bgzf_mode_emits_real_bgzf() {
+    let dir = TempDir::new("bgzf");
+    let data = rgz_datagen::fastq_of_size(400_000, 42);
+    let raw = dir.file("reads.fastq");
+    std::fs::write(&raw, &data).unwrap();
+
+    let out = dir.file("reads.fastq.bgz");
+    let compress = run_rgz(&[
+        "compress",
+        "--bgzf",
+        "-P",
+        "2",
+        "-o",
+        path_str(&out),
+        path_str(&raw),
+    ]);
+    assert!(
+        compress.status.success(),
+        "bgzf compress failed: {}",
+        String::from_utf8_lossy(&compress.stderr)
+    );
+    let compressed = std::fs::read(&out).unwrap();
+    assert_eq!(rgz_gzip::decompress(&compressed).unwrap(), data);
+    // Every member (including the EOF block) must carry the BC subfield.
+    assert!(rgz_gzip::bgzf::block_offsets(&compressed).is_ok());
+    assert!(compressed.ends_with(&rgz_gzip::BGZF_EOF_BLOCK));
+}
+
+#[test]
+fn levels_trade_size_for_speed() {
+    let dir = TempDir::new("levels");
+    let data = rgz_datagen::silesia_like(500_000, 43);
+    let raw = dir.file("corpus.bin");
+    std::fs::write(&raw, &data).unwrap();
+
+    let mut sizes = Vec::new();
+    for level in ["0", "1", "9"] {
+        let out = dir.file(&format!("corpus.l{level}.gz"));
+        let compress = run_rgz(&[
+            "compress",
+            "-l",
+            level,
+            "-o",
+            path_str(&out),
+            path_str(&raw),
+        ]);
+        assert!(compress.status.success(), "level {level} failed");
+        let compressed = std::fs::read(&out).unwrap();
+        assert_eq!(rgz_gzip::decompress(&compressed).unwrap(), data, "{level}");
+        sizes.push(compressed.len());
+    }
+    assert!(sizes[0] > data.len(), "level 0 is stored plus framing");
+    assert!(sizes[1] < data.len(), "level 1 must compress");
+    assert!(sizes[2] <= sizes[1], "level 9 must not lose to level 1");
+}
+
+#[test]
+fn bad_arguments_exit_with_usage() {
+    let output = run_rgz(&["compress", "--no-such-flag", "x"]);
+    assert_eq!(output.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&output.stderr).contains("usage: rgzip compress"));
+
+    let output = run_rgz(&["compress", "-l", "11", "x"]);
+    assert_eq!(output.status.code(), Some(2));
+}

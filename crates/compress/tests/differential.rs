@@ -1,0 +1,137 @@
+//! Differential tests: the parallel compressor's output must be accepted by
+//! *both* one-stage decoders bit-for-bit, and the index it emits must agree
+//! with what an independent sequential pass over the stream observes.
+
+use proptest::prelude::*;
+use rgz_bitio::BitReader;
+use rgz_checksum::crc32;
+use rgz_compress::{
+    CompressedStream, CompressionLevel, ContainerFormat, ParallelCompressor,
+    ParallelCompressorOptions,
+};
+use rgz_deflate::{inflate, inflate_single_symbol};
+use rgz_gzip::{parse_footer, parse_header};
+
+/// Walks every gzip member of `bytes` with the given one-stage decoder,
+/// checking each trailer, and returns the concatenated output plus the
+/// per-member `(crc32, length)` sequence — an index capture that shares no
+/// code with the compressor's own bookkeeping.
+fn walk_members(bytes: &[u8], single_symbol: bool) -> (Vec<u8>, Vec<(u32, u64)>) {
+    let mut reader = BitReader::new(bytes);
+    let mut out = Vec::new();
+    let mut members = Vec::new();
+    while reader.position() / 8 < bytes.len() as u64 {
+        parse_header(&mut reader).expect("member header");
+        let before = out.len();
+        let outcome = if single_symbol {
+            inflate_single_symbol(&mut reader, &[], &mut out, u64::MAX)
+        } else {
+            inflate(&mut reader, &[], &mut out, u64::MAX)
+        }
+        .expect("member body");
+        assert!(outcome.stream_ended(), "member stream must terminate");
+        let footer = parse_footer(&mut reader).expect("member trailer");
+        let member_bytes = &out[before..];
+        assert_eq!(
+            footer.uncompressed_size as u64,
+            member_bytes.len() as u64 & 0xFFFF_FFFF
+        );
+        assert_eq!(footer.crc32, crc32(member_bytes), "trailer CRC-32");
+        members.push((footer.crc32, member_bytes.len() as u64));
+    }
+    (out, members)
+}
+
+/// Checks the emitted index against the sequential capture: flattening every
+/// seek point's CRC fragments in order must reproduce the per-member
+/// `(crc32, length)` sequence of the stream (ignoring zero-length members,
+/// which both sides normalise away).
+fn check_index_against_capture(stream: &CompressedStream, capture: &[(u32, u64)]) {
+    let mut expected: Vec<(u32, u64)> = capture
+        .iter()
+        .copied()
+        .filter(|&(_, length)| length != 0)
+        .collect();
+    expected.reverse();
+    for point in stream.index.block_map.points() {
+        let checksums = stream
+            .index
+            .checksum_map
+            .get(point.compressed_bit_offset)
+            .expect("every seek point carries fragments");
+        let span: u64 = checksums.fragments.iter().map(|f| f.length).sum();
+        assert_eq!(span, point.uncompressed_size, "fragments cover the span");
+        for fragment in &checksums.fragments {
+            let (crc, length) = expected.pop().expect("more fragments than members");
+            assert_eq!((fragment.crc32, fragment.length), (crc, length));
+        }
+    }
+    assert!(expected.is_empty(), "members not covered by any fragment");
+}
+
+fn compress(
+    data: &[u8],
+    level: CompressionLevel,
+    container: ContainerFormat,
+    chunk_size: usize,
+    member_size: usize,
+) -> CompressedStream {
+    ParallelCompressor::new(ParallelCompressorOptions {
+        level,
+        container,
+        chunk_size,
+        member_size,
+        parallelization: 3,
+        ..Default::default()
+    })
+    .compress(data)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn both_decoders_reproduce_arbitrary_corpora(
+        data in proptest::collection::vec(any::<u8>(), 0..40_000),
+        numeric_level in 0u8..=9,
+        bgzf in any::<bool>(),
+        chunk_size in prop_oneof![Just(3_000usize), Just(16 * 1024)],
+    ) {
+        let container = if bgzf { ContainerFormat::Bgzf } else { ContainerFormat::Pigz };
+        let stream = compress(
+            &data,
+            CompressionLevel::from_numeric(numeric_level),
+            container,
+            chunk_size,
+            4 * chunk_size,
+        );
+        let (multi, capture) = walk_members(&stream.bytes, false);
+        prop_assert_eq!(&multi, &data, "multi-symbol decode");
+        let (single, single_capture) = walk_members(&stream.bytes, true);
+        prop_assert_eq!(&single, &data, "single-symbol decode");
+        prop_assert_eq!(&capture, &single_capture);
+        check_index_against_capture(&stream, &capture);
+    }
+
+    #[test]
+    fn repetitive_corpora_compress_and_verify(
+        seed in any::<u32>(),
+        length in 10_000usize..120_000,
+    ) {
+        // Highly repetitive data exercises long hash chains and cross-chunk
+        // independence (matches must never cross a chunk boundary).
+        let phrase = format!("entry {seed:08x} lorem ipsum dolor sit amet ");
+        let data: Vec<u8> = phrase.bytes().cycle().take(length).collect();
+        let stream = compress(
+            &data,
+            CompressionLevel::Best,
+            ContainerFormat::Pigz,
+            8 * 1024,
+            32 * 1024,
+        );
+        prop_assert!(stream.bytes.len() < data.len() / 4);
+        let (restored, capture) = walk_members(&stream.bytes, false);
+        prop_assert_eq!(restored, data);
+        check_index_against_capture(&stream, &capture);
+    }
+}

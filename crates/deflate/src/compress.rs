@@ -11,6 +11,7 @@ use rgz_bitio::BitWriter;
 use rgz_huffman::{compute_code_lengths, HuffmanEncoder};
 
 use crate::constants::*;
+use crate::matchfinder::{HtMatchFinder, Token};
 
 /// Match-finding effort, roughly corresponding to gzip levels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,7 +39,7 @@ impl CompressionLevel {
         }
     }
 
-    fn max_chain(self) -> usize {
+    pub(crate) fn max_chain(self) -> usize {
         match self {
             CompressionLevel::Stored | CompressionLevel::Huffman => 0,
             CompressionLevel::Fast => 8,
@@ -47,7 +48,7 @@ impl CompressionLevel {
         }
     }
 
-    fn lazy(self) -> bool {
+    pub(crate) fn lazy(self) -> bool {
         matches!(self, CompressionLevel::Default | CompressionLevel::Best)
     }
 }
@@ -76,13 +77,6 @@ impl Default for CompressorOptions {
     }
 }
 
-/// One LZ77 token.
-#[derive(Debug, Clone, Copy)]
-enum Token {
-    Literal(u8),
-    Match { length: u16, distance: u16 },
-}
-
 /// A DEFLATE stream compressor.
 #[derive(Debug, Clone)]
 pub struct DeflateCompressor {
@@ -108,6 +102,22 @@ impl DeflateCompressor {
     /// stream can be continued with further calls (the caller is responsible
     /// for eventually finishing the stream).
     pub fn compress_into(&self, data: &[u8], writer: &mut BitWriter, finalize: bool) {
+        let mut finder = HtMatchFinder::new(self.options.level);
+        self.compress_into_with(data, writer, finalize, &mut finder);
+    }
+
+    /// Like [`DeflateCompressor::compress_into`] but reuses the caller's
+    /// match finder, avoiding the per-call hash-table allocation.  The
+    /// parallel compressor keeps one finder per worker thread and feeds it
+    /// chunk after chunk; the finder is reconfigured to this compressor's
+    /// level before use.
+    pub fn compress_into_with(
+        &self,
+        data: &[u8],
+        writer: &mut BitWriter,
+        finalize: bool,
+        finder: &mut HtMatchFinder,
+    ) {
         if data.is_empty() {
             if finalize {
                 write_stored_block(writer, &[], true);
@@ -119,7 +129,9 @@ impl DeflateCompressor {
             return;
         }
 
-        let tokens = self.tokenize(data);
+        finder.reconfigure(self.options.level);
+        let mut tokens = Vec::new();
+        finder.tokenize_into(data, &mut tokens);
         // Split the token stream into blocks of roughly `block_size` input
         // bytes. Matches may reference data across block boundaries, exactly
         // as real compressors behave.
@@ -166,102 +178,6 @@ impl DeflateCompressor {
             let is_last = chunks.peek().is_none();
             write_stored_block(writer, chunk, is_last && finalize);
         }
-    }
-
-    /// Greedy/lazy LZ77 tokenization with hash chains.
-    fn tokenize(&self, data: &[u8]) -> Vec<Token> {
-        let max_chain = self.options.level.max_chain();
-        if max_chain == 0 {
-            return data.iter().map(|&b| Token::Literal(b)).collect();
-        }
-        let lazy = self.options.level.lazy();
-
-        const HASH_BITS: u32 = 15;
-        const HASH_SIZE: usize = 1 << HASH_BITS;
-        let hash = |data: &[u8], i: usize| -> usize {
-            let v = (data[i] as u32) | ((data[i + 1] as u32) << 8) | ((data[i + 2] as u32) << 16);
-            (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
-        };
-
-        let mut head = vec![usize::MAX; HASH_SIZE];
-        let mut prev = vec![usize::MAX; data.len()];
-        let mut tokens = Vec::with_capacity(data.len() / 3 + 16);
-
-        let find_match = |head: &[usize], prev: &[usize], position: usize| -> (usize, usize) {
-            if position + MIN_MATCH > data.len() {
-                return (0, 0);
-            }
-            let max_length = (data.len() - position).min(MAX_MATCH);
-            let mut best_length = 0usize;
-            let mut best_distance = 0usize;
-            let mut candidate = head[hash(data, position)];
-            let mut chain = 0usize;
-            while candidate != usize::MAX && chain < max_chain {
-                let distance = position - candidate;
-                if distance > WINDOW_SIZE {
-                    break;
-                }
-                let mut length = 0usize;
-                while length < max_length && data[candidate + length] == data[position + length] {
-                    length += 1;
-                }
-                if length > best_length {
-                    best_length = length;
-                    best_distance = distance;
-                    if length == max_length {
-                        break;
-                    }
-                }
-                candidate = prev[candidate];
-                chain += 1;
-            }
-            (best_length, best_distance)
-        };
-
-        let insert = |head: &mut [usize], prev: &mut [usize], position: usize| {
-            if position + MIN_MATCH <= data.len() {
-                let h = hash(data, position);
-                prev[position] = head[h];
-                head[h] = position;
-            }
-        };
-
-        let mut i = 0usize;
-        while i < data.len() {
-            let (mut length, mut distance) = find_match(&head, &prev, i);
-            if length >= MIN_MATCH && lazy && i + 1 < data.len() {
-                // One-step lazy matching: prefer a longer match starting at
-                // the next byte.
-                insert(&mut head, &mut prev, i);
-                let (next_length, next_distance) = find_match(&head, &prev, i + 1);
-                if next_length > length {
-                    tokens.push(Token::Literal(data[i]));
-                    i += 1;
-                    length = next_length;
-                    distance = next_distance;
-                }
-            } else if length >= MIN_MATCH {
-                insert(&mut head, &mut prev, i);
-            }
-
-            if length >= MIN_MATCH {
-                tokens.push(Token::Match {
-                    length: length as u16,
-                    distance: distance as u16,
-                });
-                // Insert hash entries for the matched region (skipping the
-                // first position, already inserted above).
-                for j in (i + 1)..(i + length) {
-                    insert(&mut head, &mut prev, j);
-                }
-                i += length;
-            } else {
-                insert(&mut head, &mut prev, i);
-                tokens.push(Token::Literal(data[i]));
-                i += 1;
-            }
-        }
-        tokens
     }
 
     /// Emits one block, choosing the cheapest representation among stored,

@@ -11,12 +11,15 @@
 //! * [`markers`] — marker replacement and window resolution (second stage).
 //! * [`compress`] — a complete DEFLATE compressor used to build test data
 //!   and benchmark corpora.
+//! * [`matchfinder`] — the reusable hash-chain LZ77 match finder shared by
+//!   the serial compressor and the chunk-parallel `rgz_compress` crate.
 
 pub mod block;
 pub mod compress;
 pub mod constants;
 pub mod inflate;
 pub mod markers;
+pub mod matchfinder;
 
 pub use block::{BlockType, DynamicHeader};
 pub use compress::{write_stored_block, CompressionLevel, CompressorOptions, DeflateCompressor};
@@ -28,6 +31,7 @@ pub use markers::{
     active_isa as markers_active_isa, contains_markers, replace_markers, replace_markers_hashed,
     replace_markers_into, replace_markers_into_scalar, resolve_window, WindowUsage,
 };
+pub use matchfinder::{HtMatchFinder, Token};
 
 use rgz_huffman::HuffmanError;
 

@@ -185,20 +185,40 @@ pub fn replace_markers_into_scalar(
 ) -> Result<(), DeflateError> {
     out.reserve(symbols.len());
     let window_base = WINDOW_SIZE - window.len();
-    for &symbol in symbols {
-        if symbol < 256 {
-            out.push(symbol as u8);
-        } else if symbol >= MARKER_BASE {
-            let offset = (symbol - MARKER_BASE) as usize;
-            if offset < window_base {
-                return Err(DeflateError::MarkerOutsideWindow {
-                    offset,
-                    window_length: window.len(),
-                });
+    // Validate a block ahead of time, then emit it through a tight
+    // branch-light select loop; only a block that actually contains a bad
+    // symbol re-runs the exact per-symbol loop below, so error positions and
+    // partial output stay identical to the one-symbol-at-a-time reference.
+    for block in symbols.chunks(512) {
+        let valid = block.iter().all(|&symbol| {
+            symbol < 256
+                || (symbol >= MARKER_BASE && (symbol - MARKER_BASE) as usize >= window_base)
+        });
+        if valid {
+            out.extend(block.iter().map(|&symbol| {
+                if symbol >= MARKER_BASE {
+                    window[(symbol - MARKER_BASE) as usize - window_base]
+                } else {
+                    symbol as u8
+                }
+            }));
+            continue;
+        }
+        for &symbol in block {
+            if symbol < 256 {
+                out.push(symbol as u8);
+            } else if symbol >= MARKER_BASE {
+                let offset = (symbol - MARKER_BASE) as usize;
+                if offset < window_base {
+                    return Err(DeflateError::MarkerOutsideWindow {
+                        offset,
+                        window_length: window.len(),
+                    });
+                }
+                out.push(window[offset - window_base]);
+            } else {
+                return Err(DeflateError::InvalidMarkerSymbol(symbol));
             }
-            out.push(window[offset - window_base]);
-        } else {
-            return Err(DeflateError::InvalidMarkerSymbol(symbol));
         }
     }
     Ok(())

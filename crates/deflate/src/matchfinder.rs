@@ -1,0 +1,264 @@
+//! Hash-chain LZ77 match finding (the `HtMatchFinder` shape).
+//!
+//! Extracted from the compressor so the parallel write path can reuse one
+//! finder per worker thread: the hash head table and the ring-buffered chain
+//! links are allocated once (256 KiB total) and recycled across chunks
+//! instead of being re-allocated per `compress` call.  The chain links live
+//! in a window-sized ring indexed by `position & (WINDOW_SIZE - 1)`, so the
+//! finder's footprint is independent of the input length.
+
+use crate::compress::CompressionLevel;
+use crate::constants::{MAX_MATCH, MIN_MATCH, WINDOW_SIZE};
+
+/// Number of bits in the 3-byte rolling hash.
+const HASH_BITS: u32 = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+/// Sentinel for an empty hash-chain slot.
+const NO_POSITION: u32 = u32::MAX;
+
+/// One LZ77 token produced by the match finder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Token {
+    /// A literal byte.
+    Literal(u8),
+    /// A back-reference of `length` bytes starting `distance` bytes back.
+    Match {
+        /// Match length, `MIN_MATCH..=MAX_MATCH`.
+        length: u16,
+        /// Match distance, `1..=WINDOW_SIZE`.
+        distance: u16,
+    },
+}
+
+#[inline]
+fn hash(data: &[u8], i: usize) -> usize {
+    let v = (data[i] as u32) | ((data[i + 1] as u32) << 8) | ((data[i + 2] as u32) << 16);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// A greedy/lazy hash-chain match finder with reusable state.
+///
+/// The effort knobs (chain depth, lazy evaluation) come from
+/// [`CompressionLevel`]; [`HtMatchFinder::reconfigure`] switches levels
+/// without touching the allocations.
+#[derive(Debug, Clone)]
+pub struct HtMatchFinder {
+    /// Most recent position for each hash bucket.
+    head: Vec<u32>,
+    /// Previous position with the same hash, ring-indexed by
+    /// `position & (WINDOW_SIZE - 1)`.
+    prev: Vec<u32>,
+    max_chain: usize,
+    lazy: bool,
+}
+
+impl HtMatchFinder {
+    /// Creates a finder tuned for `level`.
+    pub fn new(level: CompressionLevel) -> Self {
+        Self {
+            head: vec![NO_POSITION; HASH_SIZE],
+            prev: vec![NO_POSITION; WINDOW_SIZE],
+            max_chain: level.max_chain(),
+            lazy: level.lazy(),
+        }
+    }
+
+    /// Switches the effort level, keeping the allocated tables.
+    pub fn reconfigure(&mut self, level: CompressionLevel) {
+        self.max_chain = level.max_chain();
+        self.lazy = level.lazy();
+    }
+
+    /// Tokenizes `data` from scratch, appending to `tokens` (which is
+    /// cleared first).  The finder's tables are reset, so consecutive calls
+    /// treat each buffer as an independent stream — exactly what the
+    /// chunk-parallel compressor needs for its independent members.
+    pub fn tokenize_into(&mut self, data: &[u8], tokens: &mut Vec<Token>) {
+        tokens.clear();
+        if self.max_chain == 0 {
+            tokens.extend(data.iter().map(|&b| Token::Literal(b)));
+            return;
+        }
+        assert!(
+            data.len() < NO_POSITION as usize,
+            "input too large for 32-bit match-finder positions"
+        );
+        // Clearing the heads is enough: chain walks start at a head entry
+        // written during this call, and every link reachable from one was
+        // also written during this call.
+        self.head.fill(NO_POSITION);
+        tokens.reserve(data.len() / 3 + 16);
+
+        let mut i = 0usize;
+        while i < data.len() {
+            let (mut length, mut distance) = self.find_match(data, i);
+            if length >= MIN_MATCH && self.lazy && i + 1 < data.len() {
+                // One-step lazy matching: prefer a longer match starting at
+                // the next byte.
+                self.insert(data, i);
+                let (next_length, next_distance) = self.find_match(data, i + 1);
+                if next_length > length {
+                    tokens.push(Token::Literal(data[i]));
+                    i += 1;
+                    length = next_length;
+                    distance = next_distance;
+                }
+            } else if length >= MIN_MATCH {
+                self.insert(data, i);
+            }
+
+            if length >= MIN_MATCH {
+                tokens.push(Token::Match {
+                    length: length as u16,
+                    distance: distance as u16,
+                });
+                // Insert hash entries for the matched region (skipping the
+                // first position, already inserted above).
+                for j in (i + 1)..(i + length) {
+                    self.insert(data, j);
+                }
+                i += length;
+            } else {
+                self.insert(data, i);
+                tokens.push(Token::Literal(data[i]));
+                i += 1;
+            }
+        }
+    }
+
+    fn find_match(&self, data: &[u8], position: usize) -> (usize, usize) {
+        if position + MIN_MATCH > data.len() {
+            return (0, 0);
+        }
+        let max_length = (data.len() - position).min(MAX_MATCH);
+        let mut best_length = 0usize;
+        let mut best_distance = 0usize;
+        let mut candidate = self.head[hash(data, position)];
+        let mut chain = 0usize;
+        while candidate != NO_POSITION && chain < self.max_chain {
+            let candidate_position = candidate as usize;
+            let distance = position - candidate_position;
+            if distance > WINDOW_SIZE {
+                break;
+            }
+            let mut length = 0usize;
+            while length < max_length
+                && data[candidate_position + length] == data[position + length]
+            {
+                length += 1;
+            }
+            if length > best_length {
+                best_length = length;
+                best_distance = distance;
+                if length == max_length {
+                    break;
+                }
+            }
+            // Ring slots are shared by positions a window apart; a link that
+            // does not point strictly backwards was overwritten by a later
+            // position and ends the chain.
+            let next = self.prev[candidate_position & (WINDOW_SIZE - 1)];
+            if next == NO_POSITION || next >= candidate {
+                break;
+            }
+            candidate = next;
+            chain += 1;
+        }
+        (best_length, best_distance)
+    }
+
+    #[inline]
+    fn insert(&mut self, data: &[u8], position: usize) {
+        if position + MIN_MATCH <= data.len() {
+            let h = hash(data, position);
+            self.prev[position & (WINDOW_SIZE - 1)] = self.head[h];
+            self.head[h] = position as u32;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn expand(tokens: &[Token]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for token in tokens {
+            match *token {
+                Token::Literal(byte) => out.push(byte),
+                Token::Match { length, distance } => {
+                    assert!((MIN_MATCH..=MAX_MATCH).contains(&(length as usize)));
+                    let distance = distance as usize;
+                    assert!((1..=WINDOW_SIZE).contains(&distance));
+                    assert!(distance <= out.len(), "match reaches before the stream");
+                    for _ in 0..length {
+                        out.push(out[out.len() - distance]);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn tokens_expand_back_to_the_input() {
+        let data = b"the quick brown fox jumps over the lazy dog, the quick fox".repeat(300);
+        for level in [
+            CompressionLevel::Huffman,
+            CompressionLevel::Fast,
+            CompressionLevel::Default,
+            CompressionLevel::Best,
+        ] {
+            let mut finder = HtMatchFinder::new(level);
+            let mut tokens = Vec::new();
+            finder.tokenize_into(&data, &mut tokens);
+            assert_eq!(expand(&tokens), data, "level {level:?}");
+        }
+    }
+
+    #[test]
+    fn reuse_across_buffers_is_stateless() {
+        let mut finder = HtMatchFinder::new(CompressionLevel::Default);
+        let first = b"aaaa bbbb cccc dddd".repeat(50);
+        let second = b"zzzz yyyy xxxx wwww".repeat(50);
+        let mut tokens = Vec::new();
+        finder.tokenize_into(&first, &mut tokens);
+        let first_tokens = tokens.clone();
+        finder.tokenize_into(&second, &mut tokens);
+        assert_eq!(expand(&tokens), second);
+        // Re-tokenizing the first buffer after another run must give the
+        // same result as the fresh finder did.
+        finder.tokenize_into(&first, &mut tokens);
+        assert_eq!(tokens, first_tokens);
+    }
+
+    #[test]
+    fn inputs_longer_than_the_window_stay_consistent() {
+        // > 32 KiB of repetitive data exercises the ring-buffer wrap and the
+        // strictly-backwards chain guard.
+        let data: Vec<u8> = (0..200_000u32)
+            .flat_map(|i| format!("line {}\n", i % 700).into_bytes())
+            .collect();
+        let mut finder = HtMatchFinder::new(CompressionLevel::Best);
+        let mut tokens = Vec::new();
+        finder.tokenize_into(&data, &mut tokens);
+        assert_eq!(expand(&tokens), data);
+        assert!(
+            tokens.len() < data.len() / 4,
+            "repetitive data should mostly tokenize into matches"
+        );
+    }
+
+    #[test]
+    fn reconfigure_switches_effort_without_reallocating() {
+        let data = b"abcabcabcabc".repeat(1000);
+        let mut finder = HtMatchFinder::new(CompressionLevel::Huffman);
+        let mut tokens = Vec::new();
+        finder.tokenize_into(&data, &mut tokens);
+        assert!(tokens.iter().all(|t| matches!(t, Token::Literal(_))));
+        finder.reconfigure(CompressionLevel::Fast);
+        finder.tokenize_into(&data, &mut tokens);
+        assert!(tokens.iter().any(|t| matches!(t, Token::Match { .. })));
+        assert_eq!(expand(&tokens), data);
+    }
+}

@@ -11,6 +11,12 @@
 //! cargo run -p rgz_interop --example generate_fixtures
 //! ```
 //!
+//! An optional first argument redirects the output to another directory
+//! (created if needed). The CI `fixture-freshness` job uses this to render
+//! the fixtures into a temporary directory and `git diff --no-index` them
+//! against the checked-in `tests/fixtures/`, so a serialiser change that
+//! forgot to regenerate the goldens fails before the byte-equality tests do.
+//!
 //! Everything is derived from fixed seeds and fixed reader options; the
 //! output is identical on every platform (the vendored `rand` is part of
 //! the workspace precisely to keep the corpora deterministic).
@@ -21,15 +27,22 @@ use rgz_index::IndexFormat;
 use rgz_interop::{export_index, AnyIndexFormat};
 
 fn main() {
-    let fixtures = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../../tests/fixtures")
-        .canonicalize()
-        .or_else(|_| {
-            let path =
-                std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures");
-            std::fs::create_dir_all(&path).map(|_| path)
-        })
-        .expect("cannot locate tests/fixtures");
+    let fixtures = match std::env::args().nth(1) {
+        Some(directory) => {
+            let path = std::path::PathBuf::from(directory);
+            std::fs::create_dir_all(&path).expect("cannot create the output directory");
+            path
+        }
+        None => std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../tests/fixtures")
+            .canonicalize()
+            .or_else(|_| {
+                let path =
+                    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures");
+                std::fs::create_dir_all(&path).map(|_| path)
+            })
+            .expect("cannot locate tests/fixtures"),
+    };
 
     // The corpus: 200 KB of deterministic FASTQ records, compressed
     // pigz-style (a deflate block boundary every 24 KiB of input) so the

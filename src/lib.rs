@@ -4,6 +4,7 @@ pub use rgz_baselines as baselines;
 pub use rgz_bitio as bitio;
 pub use rgz_blockfinder as blockfinder;
 pub use rgz_checksum as checksum;
+pub use rgz_compress as compress;
 pub use rgz_core as core;
 pub use rgz_datagen as datagen;
 pub use rgz_deflate as deflate;
