@@ -25,10 +25,17 @@
 //!       --trace <PATH>        record per-chunk pipeline events and write them
 //!                             as Chrome trace-event JSON to PATH (load in
 //!                             ui.perfetto.dev or chrome://tracing)
-//!       --metrics[=json]      print an aggregated metrics report (per-stage
+//!       --trace-report[=json] print an aggregated trace report (per-stage
 //!                             latency percentiles, worker utilization,
 //!                             speculation waste, prefetch hit rate) to stderr;
 //!                             `=json` emits one machine-readable JSON line
+//!       --metrics[=json]      deprecated alias for --trace-report[=json]
+//!       --stats-interval <S>  print a live one-line progress report (input/
+//!                             output MB/s, ETA, window-cache hit rate, pool
+//!                             queue depth) to stderr every S seconds,
+//!                             computed from periodic metrics-registry samples
+//!       --metrics-export <P>  write every metric series in Prometheus text
+//!                             exposition format (0.0.4) to P at exit
 //!   -v, --verbose             print the selected SIMD kernels, reader
 //!                             statistics and index/window memory usage to
 //!                             stderr
@@ -54,14 +61,16 @@
 use std::io::Write;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 use rgz_core::{ParallelGzipReader, ParallelGzipReaderOptions, VerificationMode};
 use rgz_interop::AnyIndexFormat;
 use rgz_io::SharedFileReader;
+use rgz_metrics::{names, MetricsRegistry, SampleWindow, Sampler};
 use rgz_trace::{chrome_trace_json, MetricsReport, Outcome, Stage, TraceSink};
 
 #[derive(Clone, Copy, PartialEq, Eq)]
-enum MetricsFormat {
+enum ReportFormat {
     Text,
     Json,
 }
@@ -79,7 +88,9 @@ struct Options {
     verbose: bool,
     output: Option<String>,
     trace: Option<String>,
-    metrics: Option<MetricsFormat>,
+    trace_report: Option<ReportFormat>,
+    stats_interval: Option<f64>,
+    metrics_export: Option<String>,
 }
 
 fn print_usage() {
@@ -87,7 +98,8 @@ fn print_usage() {
     eprintln!("             [--export-index PATH] [--import-index PATH]");
     eprintln!("             [--index-format v1|v2|v3|gztool|indexed-gzip]");
     eprintln!("             [--verify|--no-verify] [--serial] [-v]");
-    eprintln!("             [--trace PATH] [--metrics[=json]]");
+    eprintln!("             [--trace PATH] [--trace-report[=json]]");
+    eprintln!("             [--stats-interval SECS] [--metrics-export PATH]");
     eprintln!("             [-o OUTPUT] FILE");
     eprintln!("       rgzip compress [OPTIONS] FILE   (see `rgzip compress --help`)");
 }
@@ -109,7 +121,9 @@ fn parse_arguments() -> Result<Options, String> {
         verbose: false,
         output: None,
         trace: None,
-        metrics: None,
+        trace_report: None,
+        stats_interval: None,
+        metrics_export: None,
     };
     let next_value = |arguments: &mut dyn Iterator<Item = String>, flag: &str| {
         arguments
@@ -153,8 +167,32 @@ fn parse_arguments() -> Result<Options, String> {
             "--trace" => {
                 options.trace = Some(next_value(&mut arguments, "--trace")?);
             }
-            "--metrics" | "--metrics=text" => options.metrics = Some(MetricsFormat::Text),
-            "--metrics=json" => options.metrics = Some(MetricsFormat::Json),
+            "--trace-report" | "--trace-report=text" => {
+                options.trace_report = Some(ReportFormat::Text);
+            }
+            "--trace-report=json" => options.trace_report = Some(ReportFormat::Json),
+            // Deprecated spellings kept for one release so existing scripts
+            // and the perf harness keep working.
+            "--metrics" | "--metrics=text" => {
+                eprintln!("rgzip: warning: --metrics is deprecated; use --trace-report");
+                options.trace_report = Some(ReportFormat::Text);
+            }
+            "--metrics=json" => {
+                eprintln!("rgzip: warning: --metrics=json is deprecated; use --trace-report=json");
+                options.trace_report = Some(ReportFormat::Json);
+            }
+            "--stats-interval" => {
+                let seconds: f64 = next_value(&mut arguments, "--stats-interval")?
+                    .parse()
+                    .map_err(|e| format!("invalid stats interval: {e}"))?;
+                if !seconds.is_finite() || seconds <= 0.0 {
+                    return Err(format!("invalid stats interval: {seconds} (expected > 0)"));
+                }
+                options.stats_interval = Some(seconds);
+            }
+            "--metrics-export" => {
+                options.metrics_export = Some(next_value(&mut arguments, "--metrics-export")?);
+            }
             other if !other.starts_with('-') && options.file.is_empty() => {
                 options.file = other.to_string();
             }
@@ -190,10 +228,22 @@ fn run(options: &Options) -> Result<(), String> {
     // One sink serves both decoder paths; it records nothing (a single
     // relaxed atomic load per call site) unless tracing or metrics were
     // requested.
-    let trace = if options.trace.is_some() || options.metrics.is_some() {
+    let trace = if options.trace.is_some() || options.trace_report.is_some() {
         Arc::new(TraceSink::new_enabled())
     } else {
         Arc::new(TraceSink::new())
+    };
+
+    // The metrics registry backs three consumers — the live --stats-interval
+    // progress line, the Prometheus --metrics-export dump, and the hit-rate
+    // figures in the --verbose summary — so it is enabled whenever any of
+    // them was requested. Disabled, every instrument is one relaxed load.
+    let metrics_enabled =
+        options.verbose || options.stats_interval.is_some() || options.metrics_export.is_some();
+    let registry = if metrics_enabled {
+        Arc::new(MetricsRegistry::new_enabled())
+    } else {
+        MetricsRegistry::shared_disabled()
     };
 
     let mut sink: Box<dyn Write> = match &options.output {
@@ -240,13 +290,19 @@ fn run(options: &Options) -> Result<(), String> {
             sink.write_all(&data).map_err(|e| e.to_string())?;
         }
     } else {
-        let reader_options = ParallelGzipReaderOptions {
+        let mut reader_options = ParallelGzipReaderOptions {
             parallelization: options.threads.max(1),
             chunk_size: options.chunk_size_kib.max(4) * 1024,
             verification: options.verification,
             ..Default::default()
         }
         .with_trace(trace.clone());
+        if metrics_enabled {
+            reader_options = reader_options.with_metrics(Arc::clone(&registry));
+        }
+        let compressed_size = std::fs::metadata(&options.file)
+            .map(|metadata| metadata.len())
+            .unwrap_or(0);
         let shared = SharedFileReader::open(&options.file)
             .map_err(|e| format!("cannot open {}: {e}", options.file))?;
         let mut reader = match &options.import_index {
@@ -293,6 +349,57 @@ fn run(options: &Options) -> Result<(), String> {
         }
         .map_err(|e| e.to_string())?;
 
+        // The sampler thread snapshots the registry every interval and hands
+        // the observer two consecutive samples; everything on the progress
+        // line is computed from that delta window, so the live report and the
+        // final export can never disagree about what happened.
+        let sampler = options.stats_interval.map(|seconds| {
+            let observer = Box::new(move |window: &SampleWindow| {
+                let read_total = window.current.snapshot.counter_total(names::READ_BYTES);
+                let in_rate = window.rate_per_sec(names::READ_BYTES);
+                let out_rate = window.rate_per_sec(names::BYTES_OUT);
+                let cache_hits = window
+                    .current
+                    .snapshot
+                    .counter(names::WINDOW_CACHE, &[("event", "hit")])
+                    .unwrap_or(0);
+                let cache_misses = window
+                    .current
+                    .snapshot
+                    .counter(names::WINDOW_CACHE, &[("event", "miss")])
+                    .unwrap_or(0);
+                let cache_lookups = cache_hits + cache_misses;
+                let queue_depth = window.gauge(names::POOL_QUEUE_DEPTH, &[]).unwrap_or(0);
+                let percent_done = if compressed_size > 0 {
+                    100.0 * read_total as f64 / compressed_size as f64
+                } else {
+                    0.0
+                };
+                let eta = if in_rate > 0.0 && compressed_size > read_total {
+                    format!("{:.0} s", (compressed_size - read_total) as f64 / in_rate)
+                } else {
+                    "-".to_string()
+                };
+                eprintln!(
+                    "rgzip: progress: {percent_done:.1} % in {:.1} MB/s out {:.1} MB/s \
+                     eta {eta} cache {:.0} % queue {queue_depth}",
+                    in_rate / 1e6,
+                    out_rate / 1e6,
+                    if cache_lookups > 0 {
+                        100.0 * cache_hits as f64 / cache_lookups as f64
+                    } else {
+                        0.0
+                    },
+                );
+            }) as Box<dyn Fn(&SampleWindow) + Send>;
+            Sampler::start_with_observer(
+                Arc::clone(&registry),
+                Duration::from_secs_f64(seconds),
+                120,
+                Some(observer),
+            )
+        });
+
         let decode_start = std::time::Instant::now();
         let mut buffer = vec![0u8; 4 << 20];
         let mut written = 0u64;
@@ -310,6 +417,9 @@ fn run(options: &Options) -> Result<(), String> {
         }
         decode_elapsed = decode_start.elapsed();
         total_bytes = written;
+        // Joins the sampler thread so no progress line interleaves with the
+        // summary output below.
+        drop(sampler);
 
         if let Some(path) = &options.export_index {
             let index = reader.build_full_index().map_err(|e| e.to_string())?;
@@ -350,6 +460,12 @@ fn run(options: &Options) -> Result<(), String> {
                 "rgzip: index-aligned prefetch: {} issued, {} hits",
                 statistics.index_prefetches_issued, statistics.index_prefetch_hits
             );
+            eprintln!(
+                "rgzip: worker pool: {} tasks submitted, {} queued, {} in flight",
+                statistics.pool_tasks_submitted,
+                statistics.pool_queue_depth,
+                statistics.pool_tasks_inflight
+            );
             let windows = reader.window_statistics();
             let index = reader.index();
             eprintln!(
@@ -362,11 +478,29 @@ fn run(options: &Options) -> Result<(), String> {
                 windows.compression_ratio(),
                 windows.pending_compressions
             );
+            // The hit rate is computed from the registry snapshot rather than
+            // re-derived here: window_statistics() above already published the
+            // cache deltas, so the verbose line, the --stats-interval report
+            // and a --metrics-export dump all show the same numbers.
+            let snapshot = registry.snapshot();
+            let cache_hits = snapshot
+                .counter(names::WINDOW_CACHE, &[("event", "hit")])
+                .unwrap_or(0);
+            let cache_misses = snapshot
+                .counter(names::WINDOW_CACHE, &[("event", "miss")])
+                .unwrap_or(0);
+            let cache_lookups = cache_hits + cache_misses;
             eprintln!(
-                "rgzip: window cache: {} hot ({} hits, {} misses, {} evictions), {} corrupt",
+                "rgzip: window cache: {} hot ({} hits / {} lookups = {:.1} % hit rate, \
+                 {} evictions), {} corrupt",
                 windows.hot_windows,
-                windows.hot_cache.hits,
-                windows.hot_cache.misses,
+                cache_hits,
+                cache_lookups,
+                if cache_lookups > 0 {
+                    100.0 * cache_hits as f64 / cache_lookups as f64
+                } else {
+                    0.0
+                },
                 windows.hot_cache.evictions,
                 windows.corrupt_windows
             );
@@ -399,14 +533,22 @@ fn run(options: &Options) -> Result<(), String> {
             trace.event_count()
         );
     }
-    match options.metrics {
-        Some(MetricsFormat::Text) => {
+    match options.trace_report {
+        Some(ReportFormat::Text) => {
             eprint!("{}", MetricsReport::from_sink(&trace).render_text());
         }
-        Some(MetricsFormat::Json) => {
+        Some(ReportFormat::Json) => {
             eprintln!("{}", MetricsReport::from_sink(&trace).to_json());
         }
         None => {}
+    }
+    // The export is written at exit rather than on a signal: without a signal
+    // handling dependency the process cannot observe SIGUSR1, so the final
+    // registry state is the one scrape this build can offer.
+    if let Some(path) = &options.metrics_export {
+        std::fs::write(path, registry.render_prometheus())
+            .map_err(|e| format!("cannot write metrics {path}: {e}"))?;
+        eprintln!("rgzip: wrote Prometheus metrics to {path}");
     }
 
     let elapsed = start.elapsed();
@@ -435,12 +577,14 @@ struct CompressOptions {
     index_format: AnyIndexFormat,
     output: Option<String>,
     verbose: bool,
+    metrics_export: Option<String>,
 }
 
 fn print_compress_usage() {
     eprintln!("usage: rgzip compress [-l 0-9] [--bgzf] [-P N] [--chunk-size KiB]");
     eprintln!("                      [--member-size KiB] [--export-index PATH]");
     eprintln!("                      [--index-format v1|v2|v3|gztool|indexed-gzip]");
+    eprintln!("                      [--metrics-export PATH]");
     eprintln!("                      [-v] [-o OUTPUT] FILE");
 }
 
@@ -461,6 +605,7 @@ fn parse_compress_arguments(
         index_format: AnyIndexFormat::default(),
         output: None,
         verbose: false,
+        metrics_export: None,
     };
     let next_value = |arguments: &mut dyn Iterator<Item = String>, flag: &str| {
         arguments
@@ -507,6 +652,9 @@ fn parse_compress_arguments(
             "-o" | "--output" => {
                 options.output = Some(next_value(&mut arguments, "-o")?);
             }
+            "--metrics-export" => {
+                options.metrics_export = Some(next_value(&mut arguments, "--metrics-export")?);
+            }
             other if !other.starts_with('-') && options.file.is_empty() => {
                 options.file = other.to_string();
             }
@@ -528,7 +676,12 @@ fn run_compress(options: &CompressOptions) -> Result<(), String> {
         std::fs::read(&options.file).map_err(|e| format!("cannot read {}: {e}", options.file))?;
     let input_bytes = data.len() as u64;
 
-    let compressor = ParallelCompressor::new(ParallelCompressorOptions {
+    let registry = if options.metrics_export.is_some() {
+        Arc::new(MetricsRegistry::new_enabled())
+    } else {
+        MetricsRegistry::shared_disabled()
+    };
+    let mut compressor = ParallelCompressor::new(ParallelCompressorOptions {
         level: CompressionLevel::from_numeric(options.level),
         container: if options.bgzf {
             ContainerFormat::Bgzf
@@ -540,6 +693,9 @@ fn run_compress(options: &CompressOptions) -> Result<(), String> {
         parallelization: options.threads.max(1),
         ..Default::default()
     });
+    if options.metrics_export.is_some() {
+        compressor = compressor.with_metrics(&registry);
+    }
     let compress_start = std::time::Instant::now();
     let stream = compressor.compress_shared(std::sync::Arc::from(data));
     let compress_elapsed = compress_start.elapsed();
@@ -584,6 +740,11 @@ fn run_compress(options: &CompressOptions) -> Result<(), String> {
             stream.chunks,
             stream.index.block_map.len()
         );
+    }
+    if let Some(path) = &options.metrics_export {
+        std::fs::write(path, registry.render_prometheus())
+            .map_err(|e| format!("cannot write metrics {path}: {e}"))?;
+        eprintln!("rgzip: wrote Prometheus metrics to {path}");
     }
     eprintln!(
         "rgzip: {} bytes compressed to {} ({:.2}x) in {:.2} s ({:.1} MB/s, {} threads)",

@@ -1,6 +1,6 @@
-//! Process-level tests for `--trace` and `--metrics`: run the real `rgz`
+//! Process-level tests for `--trace` and `--trace-report`: run the real `rgz`
 //! binary and validate the emitted Chrome trace-event JSON and the aggregated
-//! metrics report with the bench harness's JSON parser.
+//! trace report with the bench harness's JSON parser.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -75,7 +75,7 @@ fn trace_flag_emits_parseable_chrome_trace_covering_the_input() {
         "--verbose",
         "--trace",
         path_str(&trace_path),
-        "--metrics=json",
+        "--trace-report=json",
         "-o",
         path_str(&dir.file("out")),
         path_str(&gz),
@@ -205,6 +205,8 @@ fn trace_flag_emits_parseable_chrome_trace_covering_the_input() {
     assert!(number(&metrics, "wall_us") > 0.0);
 }
 
+/// The serial path still honors the deprecated `--metrics` spelling: it must
+/// behave exactly like `--trace-report` and print a deprecation warning.
 #[test]
 fn serial_path_traces_and_reports_metrics() {
     let dir = TempDir::new("serial");
@@ -240,11 +242,15 @@ fn serial_path_traces_and_reports_metrics() {
     });
     assert!(serial_span, "missing serial_decode span in the trace");
 
-    // Human-readable metrics report on stderr.
+    // Human-readable trace report on stderr, plus the deprecation notice.
     let stderr = String::from_utf8_lossy(&output.stderr);
     assert!(
         stderr.contains("trace:") && stderr.contains("serial_decode"),
-        "missing metrics report:\n{stderr}"
+        "missing trace report:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("--metrics is deprecated"),
+        "missing deprecation warning for --metrics:\n{stderr}"
     );
 }
 

@@ -35,6 +35,7 @@ use rgz_fetcher::ThreadPool;
 use rgz_gzip::bgzf::MAX_BGZF_INPUT_BLOCK;
 use rgz_gzip::{GzipFooter, GzipHeader, BGZF_EOF_BLOCK, OS_UNIX};
 use rgz_index::{GzipIndex, PointChecksums, SeekPoint};
+use rgz_metrics::{exponential_buckets, names, Counter, Histogram, MetricsRegistry};
 
 /// Serialized size of the fixed BGZF member header (10 base bytes + 2-byte
 /// XLEN + 6-byte `BC` subfield).
@@ -102,10 +103,59 @@ pub struct CompressedStream {
     pub chunks: usize,
 }
 
+/// Registry handles for the write path; disconnected unless a registry is
+/// attached with [`ParallelCompressor::with_metrics`].
+struct CompressMetrics {
+    chunks: Counter,
+    members: Counter,
+    bytes_in: Counter,
+    bytes_out: Counter,
+    encode_seconds: Histogram,
+}
+
+impl CompressMetrics {
+    fn disconnected() -> Self {
+        Self {
+            chunks: Counter::disconnected(),
+            members: Counter::disconnected(),
+            bytes_in: Counter::disconnected(),
+            bytes_out: Counter::disconnected(),
+            encode_seconds: Histogram::disconnected(),
+        }
+    }
+
+    fn register(registry: &MetricsRegistry) -> Self {
+        Self {
+            chunks: registry.counter(
+                names::COMPRESS_CHUNKS,
+                "Independently compressed chunks written",
+            ),
+            members: registry.counter(
+                names::COMPRESS_MEMBERS,
+                "Gzip members written (including the BGZF EOF block)",
+            ),
+            bytes_in: registry.counter(
+                names::COMPRESS_BYTES_IN,
+                "Uncompressed input bytes consumed",
+            ),
+            bytes_out: registry.counter(
+                names::COMPRESS_BYTES_OUT,
+                "Compressed container bytes produced (headers and trailers included)",
+            ),
+            encode_seconds: registry.histogram(
+                names::COMPRESS_ENCODE_SECONDS,
+                "Worker-side chunk/span encode latency in seconds",
+                &exponential_buckets(0.000_1, 4.0, 10),
+            ),
+        }
+    }
+}
+
 /// A chunk-parallel gzip/BGZF compressor.
 pub struct ParallelCompressor {
     options: ParallelCompressorOptions,
     pool: Arc<ThreadPool>,
+    metrics: CompressMetrics,
 }
 
 thread_local! {
@@ -147,7 +197,18 @@ impl ParallelCompressor {
     pub fn with_pool(options: ParallelCompressorOptions, pool: Arc<ThreadPool>) -> Self {
         assert!(options.chunk_size > 0, "chunk_size must be non-zero");
         assert!(options.member_size > 0, "member_size must be non-zero");
-        Self { options, pool }
+        Self {
+            options,
+            pool,
+            metrics: CompressMetrics::disconnected(),
+        }
+    }
+
+    /// Attaches a metrics registry: chunk/member counts, input/output byte
+    /// totals and worker-side encode latency are recorded on it.
+    pub fn with_metrics(mut self, registry: &MetricsRegistry) -> Self {
+        self.metrics = CompressMetrics::register(registry);
+        self
     }
 
     /// The effective options.
@@ -193,10 +254,11 @@ impl ParallelCompressor {
                 let terminate = end == member_end;
                 let data = Arc::clone(&data);
                 let options = compressor_options.clone();
-                handles.push(
-                    self.pool
-                        .submit(move || encode_chunk(&options, &data[start..end], terminate)),
-                );
+                let encode_seconds = self.metrics.encode_seconds.clone();
+                handles.push(self.pool.submit(move || {
+                    let _timer = encode_seconds.start_timer();
+                    encode_chunk(&options, &data[start..end], terminate)
+                }));
                 if terminate {
                     break;
                 }
@@ -257,6 +319,10 @@ impl ParallelCompressor {
         index.compressed_size = out.len() as u64;
         index.uncompressed_size = total as u64;
 
+        self.metrics.chunks.add(chunks as u64);
+        self.metrics.members.add(member_count as u64);
+        self.metrics.bytes_in.add(total as u64);
+        self.metrics.bytes_out.add(out.len() as u64);
         CompressedStream {
             bytes: out,
             index,
@@ -283,7 +349,9 @@ impl ParallelCompressor {
             let end = (start + span_input).min(total);
             let data = Arc::clone(&data);
             let options = compressor_options.clone();
+            let encode_seconds = self.metrics.encode_seconds.clone();
             handles.push(self.pool.submit(move || {
+                let _timer = encode_seconds.start_timer();
                 encode_bgzf_span(&options, &data[start..end], modification_time, extra_flags)
             }));
         }
@@ -315,6 +383,10 @@ impl ParallelCompressor {
         index.compressed_size = out.len() as u64;
         index.uncompressed_size = total as u64;
 
+        self.metrics.chunks.add(chunks as u64);
+        self.metrics.members.add(member + 1);
+        self.metrics.bytes_in.add(total as u64);
+        self.metrics.bytes_out.add(out.len() as u64);
         CompressedStream {
             bytes: out,
             index,
@@ -535,6 +607,36 @@ mod tests {
             opts.level = level;
             let stream = ParallelCompressor::new(opts).compress(&data);
             assert_eq!(decompress(&stream.bytes).unwrap(), data, "{level:?}");
+        }
+    }
+
+    #[test]
+    fn metrics_mirror_the_compressed_stream_exactly() {
+        let data = text_corpus(300_000);
+        for container in [ContainerFormat::Pigz, ContainerFormat::Bgzf] {
+            let registry = std::sync::Arc::new(rgz_metrics::MetricsRegistry::new_enabled());
+            let stream = ParallelCompressor::new(options(container))
+                .with_metrics(&registry)
+                .compress(&data);
+            let snapshot = registry.snapshot();
+            let counter = |name: &str| snapshot.counter(name, &[]).unwrap_or(0);
+            assert_eq!(counter(names::COMPRESS_CHUNKS), stream.chunks as u64);
+            assert_eq!(counter(names::COMPRESS_MEMBERS), stream.members as u64);
+            assert_eq!(counter(names::COMPRESS_BYTES_IN), data.len() as u64);
+            assert_eq!(
+                counter(names::COMPRESS_BYTES_OUT),
+                stream.bytes.len() as u64
+            );
+            // One timed worker task per pigz chunk; one per BGZF span (a
+            // span covers `chunk_size` rounded down to whole 64 KiB blocks,
+            // which at this 16 KiB chunk size is exactly one block).
+            assert_eq!(
+                snapshot
+                    .histogram(names::COMPRESS_ENCODE_SECONDS, &[])
+                    .unwrap()
+                    .count,
+                stream.chunks as u64,
+            );
         }
     }
 

@@ -42,6 +42,7 @@
 
 mod chunk;
 mod error;
+mod metrics;
 mod reader;
 mod verify;
 

@@ -10,9 +10,11 @@ use rgz_deflate::{replace_markers, replace_markers_hashed, resolve_window, Windo
 use rgz_fetcher::{Cache, IndexAlignedPlan, TaskHandle, ThreadPool};
 use rgz_index::{GzipIndex, PointChecksums, SeekPoint, WINDOW_SIZE};
 use rgz_io::{FileReader, SharedFileReader};
+use rgz_metrics::MetricsRegistry;
 use rgz_trace::{instants, EventMeta, Outcome, Stage, TraceSink};
 
 use crate::chunk::{decode_chunk_at, decode_speculative_chunk_traced, SpeculativeChunk};
+use crate::metrics::ReaderMetrics;
 use crate::verify::{
     check_point_fragments, ChunkFragment, StreamVerifier, VerificationMode, VerificationStatistics,
 };
@@ -40,6 +42,10 @@ pub struct ParallelGzipReaderOptions {
     /// default) uses the process-wide disabled sink, whose per-record cost is
     /// a single atomic load.
     pub trace: Option<Arc<TraceSink>>,
+    /// Metrics registry every pipeline layer registers its series on.  `None`
+    /// (the default) leaves all handles disconnected: each record call is a
+    /// single relaxed load of a never-enabled gate, mirroring the trace sink.
+    pub metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl Default for ParallelGzipReaderOptions {
@@ -53,6 +59,7 @@ impl Default for ParallelGzipReaderOptions {
             resolved_cache_chunks: 4,
             verification: VerificationMode::default(),
             trace: None,
+            metrics: None,
         }
     }
 }
@@ -84,6 +91,13 @@ impl ParallelGzipReaderOptions {
         self
     }
 
+    /// Attaches a metrics registry; every pipeline layer registers and
+    /// updates its counters, gauges and latency histograms on it.
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
     fn effective_prefetch_degree(&self) -> usize {
         self.prefetch_degree
             .unwrap_or(self.parallelization * 2)
@@ -92,7 +106,7 @@ impl ParallelGzipReaderOptions {
 }
 
 /// Counters describing how the parallel reader behaved.
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct ReaderStatistics {
     /// Chunks whose speculative result was used.
     pub speculative_chunks_used: u64,
@@ -130,6 +144,13 @@ pub struct ReaderStatistics {
     /// wasted speculative chunks above — the paper's speculation-waste cost,
     /// previously invisible.
     pub speculative_bytes_wasted: u64,
+    /// Tasks currently waiting in the worker pool's queue (sampled live when
+    /// [`ParallelGzipReader::statistics`] is called).
+    pub pool_queue_depth: u64,
+    /// Tasks currently executing on a worker thread (sampled likewise).
+    pub pool_tasks_inflight: u64,
+    /// Total tasks ever submitted to the worker pool.
+    pub pool_tasks_submitted: u64,
 }
 
 /// State of the sequential first pass.
@@ -189,6 +210,9 @@ pub struct ParallelGzipReader {
     options: ParallelGzipReaderOptions,
     pool: Arc<ThreadPool>,
     trace: Arc<TraceSink>,
+    /// Pre-resolved registry handles; disconnected when no registry was
+    /// attached, so the hot paths stay unconditional.
+    metrics: Arc<ReaderMetrics>,
     state: Mutex<ReaderState>,
     /// Stream-ordered CRC fold; shared with the worker threads, which submit
     /// their chunk's fragments as soon as marker replacement finishes.
@@ -217,16 +241,38 @@ impl ParallelGzipReader {
             .trace
             .clone()
             .unwrap_or_else(TraceSink::shared_disabled);
-        let pool = Arc::new(ThreadPool::new_traced(parallelization, trace.clone()));
+        let metrics = match options.metrics.as_ref() {
+            Some(registry) => Arc::new(ReaderMetrics::register(registry)),
+            None => Arc::new(ReaderMetrics::disconnected()),
+        };
+        // Instrument the compressed input (read syscalls, bytes, latency)
+        // only when a registry is attached; the wrapper adds one virtual
+        // call per read otherwise.
+        let reader = if options.metrics.is_some() {
+            reader.instrumented(Arc::clone(&metrics.registry))
+        } else {
+            reader
+        };
+        let pool = Arc::new(ThreadPool::new_observed(
+            parallelization,
+            trace.clone(),
+            Arc::clone(&metrics.registry),
+        ));
         let mut index = GzipIndex::new();
         index.compressed_size = reader.size();
         // Seek-point windows compress on the shared pool as they are stored.
         index.window_map.set_pool(pool.clone());
         index.window_map.set_trace(trace.clone());
+        if options.metrics.is_some() {
+            index.window_map.set_metrics(&metrics.registry);
+        }
+        let mut verifier = StreamVerifier::new(options.verification);
+        verifier.set_member_verified_counter(metrics.verify_member.clone());
         Ok(Self {
             pool,
             trace,
-            verifier: Arc::new(Mutex::new(StreamVerifier::new(options.verification))),
+            metrics,
+            verifier: Arc::new(Mutex::new(verifier)),
             state: Mutex::new(ReaderState {
                 index,
                 pass: SequentialPass {
@@ -286,6 +332,9 @@ impl ParallelGzipReader {
             state.index = index;
             state.index.window_map.set_pool(this.pool.clone());
             state.index.window_map.set_trace(this.trace.clone());
+            if this.options.metrics.is_some() {
+                state.index.window_map.set_metrics(&this.metrics.registry);
+            }
             if state.index.uncompressed_size == 0 {
                 state.index.uncompressed_size = state.index.effective_uncompressed_size();
                 state.pass.next_uncompressed_offset = state.index.uncompressed_size;
@@ -311,9 +360,21 @@ impl ParallelGzipReader {
         &self.trace
     }
 
-    /// Behaviour counters.
+    /// Behaviour counters.  The `pool_*` fields are sampled live from the
+    /// worker pool at call time.
     pub fn statistics(&self) -> ReaderStatistics {
-        self.state.lock().statistics
+        let mut statistics = self.state.lock().statistics;
+        let pool = self.pool.statistics();
+        statistics.pool_queue_depth = pool.queue_depth;
+        statistics.pool_tasks_inflight = pool.tasks_inflight;
+        statistics.pool_tasks_submitted = pool.tasks_submitted;
+        statistics
+    }
+
+    /// The metrics registry this reader records into (the process-wide
+    /// disabled registry unless one was attached via the options).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics.registry
     }
 
     /// Memory and cache counters of the seek-point window store (compressed
@@ -502,11 +563,14 @@ impl ParallelGzipReader {
                 members_ended = member_ends.len() as u64;
                 let verifier = self.verifier.clone();
                 let trace = self.trace.clone();
+                let marker_seconds = self.metrics.stage_marker_replace.clone();
+                let crc_seconds = self.metrics.stage_crc_fold.clone();
                 // The checksum map shares storage with the index (and holds
                 // no pool reference), so the worker can record this seek
                 // point's fragments for verified random access later.
                 let checksum_map = self.state.lock().index.checksum_map.clone();
                 let handle = self.pool.submit(move || {
+                    let _stage_timer = marker_seconds.start_timer();
                     let mut span = trace
                         .span(Stage::MarkerReplace)
                         .chunk(start_bit)
@@ -544,6 +608,7 @@ impl ParallelGzipReader {
                                 );
                                 {
                                     let _fold = trace.span(Stage::CrcFold).chunk(start_bit);
+                                    let _crc_timer = crc_seconds.start_timer();
                                     verifier.lock().submit(seq, fragments);
                                 }
                                 data
@@ -568,6 +633,8 @@ impl ParallelGzipReader {
                     },
                 );
                 self.state.lock().statistics.speculative_chunks_used += 1;
+                self.metrics.chunks_speculative.inc();
+                self.metrics.bytes_out.add(chunk_length);
             }
             other => {
                 if let Some(wasted) = other {
@@ -577,6 +644,9 @@ impl ParallelGzipReader {
                     state.statistics.speculative_chunks_wasted += 1;
                     state.statistics.speculative_bytes_wasted += wasted_bytes;
                     drop(state);
+                    self.metrics.speculation_mismatches.inc();
+                    self.metrics.chunks_wasted.inc();
+                    self.metrics.bytes_wasted.add(wasted_bytes);
                     self.trace.instant(
                         instants::SPEC_WASTE,
                         EventMeta {
@@ -588,6 +658,7 @@ impl ParallelGzipReader {
                 }
                 // Decode on demand with the known window (first chunk, false
                 // positive, or no speculative result available).
+                let _stage_timer = self.metrics.stage_decode_one_stage.start_timer();
                 let mut span = self
                     .trace
                     .span(Stage::DecodeOneStage)
@@ -632,6 +703,7 @@ impl ParallelGzipReader {
                         ),
                     );
                     let _fold = self.trace.span(Stage::CrcFold).chunk(start_bit);
+                    let _crc_timer = self.metrics.stage_crc_fold.start_timer();
                     self.verifier
                         .lock()
                         .submit(seq, std::mem::take(&mut result.fragments));
@@ -651,6 +723,8 @@ impl ParallelGzipReader {
                 window_for_next = Arc::new(next_window);
                 data_handle = ChunkData::Ready(Arc::new(result.data));
                 self.state.lock().statistics.on_demand_chunks += 1;
+                self.metrics.chunks_on_demand.inc();
+                self.metrics.bytes_out.add(chunk_length);
             }
         }
 
@@ -716,6 +790,8 @@ impl ParallelGzipReader {
         }
         drop(state);
         for (found, bytes) in wasted_events {
+            self.metrics.chunks_wasted.inc();
+            self.metrics.bytes_wasted.add(bytes);
             self.trace.instant(
                 instants::SPEC_WASTE,
                 EventMeta {
@@ -798,6 +874,7 @@ impl ParallelGzipReader {
             }
             state.speculative_issued.insert(guess);
             state.statistics.prefetches_issued += 1;
+            self.metrics.prefetch_issued_speculative.inc();
             self.trace.instant(
                 instants::SPEC_SUBMIT,
                 EventMeta {
@@ -808,7 +885,9 @@ impl ParallelGzipReader {
             let reader = self.reader.clone();
             let chunk_size = self.options.chunk_size;
             let trace = self.trace.clone();
+            let decode_seconds = self.metrics.stage_decode_two_stage.clone();
             let handle = self.pool.submit(move || {
+                let _stage_timer = decode_seconds.start_timer();
                 decode_speculative_chunk_traced(&reader, chunk_size, guess, &trace)
             });
             state.speculative_pending.insert(guess, handle);
@@ -955,7 +1034,9 @@ impl ParallelGzipReader {
                     ..EventMeta::default()
                 },
             );
+            let prefetch_seconds = self.metrics.stage_prefetch_decode.clone();
             let handle = self.pool.submit(move || {
+                let _stage_timer = prefetch_seconds.start_timer();
                 let mut span = trace.span(Stage::PrefetchDecode).chunk(key);
                 let result = (|| {
                     let window = match &record {
@@ -998,6 +1079,7 @@ impl ParallelGzipReader {
             state.chunk_data.insert(key, ChunkData::Pending(handle));
             state.index_prefetched.insert(key);
             state.statistics.index_prefetches_issued += 1;
+            self.metrics.prefetch_issued_index.inc();
         }
     }
 
@@ -1012,8 +1094,10 @@ impl ParallelGzipReader {
         }
         if state.index.checksum_map.contains(key) {
             state.statistics.index_chunks_verified += 1;
+            self.metrics.verify_index_verified.inc();
         } else {
             state.statistics.index_chunks_unverified += 1;
+            self.metrics.verify_index_unverified.inc();
         }
     }
 
@@ -1037,6 +1121,9 @@ impl ParallelGzipReader {
                         state.statistics.index_prefetch_hits += 1;
                         state.statistics.index_chunks += 1;
                         self.count_fast_path_verification(&mut state, key);
+                        self.metrics.prefetch_hits.inc();
+                        self.metrics.chunks_index.inc();
+                        self.metrics.bytes_out.add(data.len() as u64);
                         self.trace.instant(
                             instants::PREFETCH_HIT,
                             EventMeta {
@@ -1053,6 +1140,8 @@ impl ParallelGzipReader {
                         state.statistics.index_prefetch_hits += 1;
                         state.statistics.index_chunks += 1;
                         self.count_fast_path_verification(&mut state, key);
+                        self.metrics.prefetch_hits.inc();
+                        self.metrics.chunks_index.inc();
                         self.trace.instant(
                             instants::PREFETCH_HIT,
                             EventMeta {
@@ -1066,6 +1155,9 @@ impl ParallelGzipReader {
                     // its output inside the task; a fragment mismatch
                     // surfaces here as the task's error.
                     let data = Arc::new(handle.wait()?);
+                    if prefetched {
+                        self.metrics.bytes_out.add(data.len() as u64);
+                    }
                     // The worker that produced this chunk has submitted its
                     // CRC fragments by now; fail the read if the fold caught
                     // a trailer mismatch.
@@ -1112,6 +1204,7 @@ impl ParallelGzipReader {
                 ..EventMeta::default()
             },
         );
+        let _stage_timer = self.metrics.stage_random_access.start_timer();
         let mut span = self.trace.span(Stage::RandomAccess).chunk(key);
         if let Some(checksums) = &checksums {
             span.set_member(checksums.first_member);
@@ -1151,6 +1244,8 @@ impl ParallelGzipReader {
         let mut state = self.state.lock();
         state.statistics.index_chunks += 1;
         self.count_fast_path_verification(&mut state, key);
+        self.metrics.chunks_index.inc();
+        self.metrics.bytes_out.add(data.len() as u64);
         state.resolved_cache.insert(key, data.clone());
         Ok(data)
     }

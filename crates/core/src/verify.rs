@@ -15,6 +15,7 @@ use std::collections::BTreeMap;
 use rgz_checksum::crc32_combine;
 use rgz_gzip::GzipFooter;
 use rgz_index::PointChecksums;
+use rgz_metrics::Counter;
 
 use crate::CoreError;
 
@@ -108,6 +109,10 @@ pub(crate) struct StreamVerifier {
     bytes_verified: u64,
     fragments_folded: u64,
     failure: Option<VerificationFailure>,
+    /// Registry twin of `members_verified`
+    /// (`rgz_verification_total{outcome="member_verified"}`); disconnected
+    /// unless the owning reader has a metrics registry attached.
+    members_verified_counter: Counter,
 }
 
 impl StreamVerifier {
@@ -124,7 +129,13 @@ impl StreamVerifier {
             bytes_verified: 0,
             fragments_folded: 0,
             failure: None,
+            members_verified_counter: Counter::disconnected(),
         }
+    }
+
+    /// Mirrors every member-verification success into a registry counter.
+    pub(crate) fn set_member_verified_counter(&mut self, counter: Counter) {
+        self.members_verified_counter = counter;
     }
 
     /// Accepts the fragments of the chunk committed as sequence number
@@ -168,6 +179,7 @@ impl StreamVerifier {
                     });
                 } else {
                     self.members_verified += 1;
+                    self.members_verified_counter.inc();
                 }
             }
             self.member_index += 1;

@@ -21,7 +21,7 @@ pub use cache::{Cache, CacheStatistics, CacheStrategy, LeastRecentlyUsed};
 pub use chunk_fetcher::{ChunkFetcher, ChunkFetcherConfig, FetchStatistics};
 pub use plan::IndexAlignedPlan;
 pub use strategy::{FetchNextAdaptive, FetchNextFixed, FetchNextMultiStream, FetchingStrategy};
-pub use thread_pool::{TaskHandle, ThreadPool};
+pub use thread_pool::{PoolStatistics, TaskHandle, ThreadPool};
 
 #[cfg(test)]
 mod tests {

@@ -6,13 +6,69 @@
 //! as the work queue and a small one-shot channel per task for the result.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use rgz_metrics::{exponential_buckets, Counter, Gauge, Histogram, MetricsRegistry};
 use rgz_trace::{EventMeta, Outcome, Stage, TraceSink};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Point-in-time pool occupancy, readable whether or not a metrics registry
+/// is attached (the counters below are always maintained; the registry
+/// gauges mirror them when one is wired in).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStatistics {
+    /// Tasks submitted but not yet picked up by a worker.
+    pub queue_depth: u64,
+    /// Tasks currently executing on a worker.
+    pub tasks_inflight: u64,
+    /// Total tasks ever submitted to this pool.
+    pub tasks_submitted: u64,
+}
+
+/// Always-on occupancy counters plus the optional registry mirrors.
+struct PoolObservers {
+    queued: AtomicI64,
+    inflight: AtomicI64,
+    submitted: AtomicU64,
+    queue_depth_gauge: Gauge,
+    inflight_gauge: Gauge,
+    tasks_total: Counter,
+    task_wait_seconds: Histogram,
+    metrics: Arc<MetricsRegistry>,
+}
+
+impl PoolObservers {
+    fn new(metrics: Arc<MetricsRegistry>) -> Self {
+        Self {
+            queued: AtomicI64::new(0),
+            inflight: AtomicI64::new(0),
+            submitted: AtomicU64::new(0),
+            queue_depth_gauge: metrics.gauge(
+                "rgz_pool_queue_depth",
+                "Tasks submitted to the worker pool but not yet started.",
+            ),
+            inflight_gauge: metrics.gauge(
+                "rgz_pool_tasks_inflight",
+                "Tasks currently executing on a pool worker.",
+            ),
+            tasks_total: metrics.counter(
+                "rgz_pool_tasks_total",
+                "Total tasks submitted to the worker pool.",
+            ),
+            task_wait_seconds: metrics.histogram(
+                "rgz_pool_task_wait_seconds",
+                "Time a task spent queued before a worker picked it up.",
+                &exponential_buckets(0.000_05, 4.0, 10),
+            ),
+            metrics,
+        }
+    }
+}
 
 /// Handle to a value being computed on the pool.
 pub struct TaskHandle<T> {
@@ -48,6 +104,7 @@ pub struct ThreadPool {
     sender: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
     trace: Arc<TraceSink>,
+    observers: Arc<PoolObservers>,
 }
 
 impl std::fmt::Debug for ThreadPool {
@@ -66,6 +123,12 @@ impl ThreadPool {
 
     /// Spawns `size` worker threads that report queue-wait spans to `trace`.
     pub fn new_traced(size: usize, trace: Arc<TraceSink>) -> Self {
+        Self::new_observed(size, trace, MetricsRegistry::shared_disabled())
+    }
+
+    /// Spawns `size` worker threads reporting to both `trace` and the live
+    /// metrics registry (queue depth / inflight gauges, task-wait histogram).
+    pub fn new_observed(size: usize, trace: Arc<TraceSink>, metrics: Arc<MetricsRegistry>) -> Self {
         let size = size.max(1);
         let (sender, receiver) = unbounded::<Job>();
         let workers = (0..size)
@@ -85,12 +148,28 @@ impl ThreadPool {
             sender: Some(sender),
             workers,
             trace,
+            observers: Arc::new(PoolObservers::new(metrics)),
         }
     }
 
     /// Number of worker threads.
     pub fn size(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Current queue depth / inflight / submitted counts.
+    pub fn statistics(&self) -> PoolStatistics {
+        PoolStatistics {
+            queue_depth: self.observers.queued.load(Ordering::Relaxed).max(0) as u64,
+            tasks_inflight: self.observers.inflight.load(Ordering::Relaxed).max(0) as u64,
+            tasks_submitted: self.observers.submitted.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The metrics registry the pool reports to (the shared disabled one
+    /// unless the pool was built with [`ThreadPool::new_observed`]).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.observers.metrics
     }
 
     /// The sink queue-wait spans are reported to (shared disabled sink when
@@ -109,8 +188,25 @@ impl ThreadPool {
         // Capture the submit timestamp so the worker can record how long the
         // task sat in the queue; `None` (sink disabled) skips the span.
         let submitted_us = self.trace.is_enabled().then(|| self.trace.now_us());
+        // Same idea for the metrics histogram: no `Instant::now` unless the
+        // registry is live.
+        let submitted_at = self.observers.metrics.is_enabled().then(Instant::now);
         let trace = Arc::clone(&self.trace);
+        let observers = Arc::clone(&self.observers);
+        observers.queued.fetch_add(1, Ordering::Relaxed);
+        observers.submitted.fetch_add(1, Ordering::Relaxed);
+        observers.queue_depth_gauge.inc();
+        observers.tasks_total.inc();
         let job: Job = Box::new(move || {
+            observers.queued.fetch_sub(1, Ordering::Relaxed);
+            observers.inflight.fetch_add(1, Ordering::Relaxed);
+            observers.queue_depth_gauge.dec();
+            observers.inflight_gauge.inc();
+            if let Some(submitted_at) = submitted_at {
+                observers
+                    .task_wait_seconds
+                    .observe(submitted_at.elapsed().as_secs_f64());
+            }
             if let Some(submitted_us) = submitted_us {
                 trace.record_span_since(
                     Stage::TaskWait,
@@ -120,6 +216,8 @@ impl ThreadPool {
                 );
             }
             let outcome = catch_unwind(AssertUnwindSafe(task));
+            observers.inflight.fetch_sub(1, Ordering::Relaxed);
+            observers.inflight_gauge.dec();
             // The receiver may have been dropped if the caller lost interest;
             // that is fine, the work is simply discarded.
             let _ = result_sender.send(outcome);
@@ -248,6 +346,51 @@ mod tests {
             handle.wait();
         }
         assert_eq!(pool.trace().event_count(), 0);
+    }
+
+    #[test]
+    fn pool_statistics_track_queue_and_inflight() {
+        let registry = Arc::new(rgz_metrics::MetricsRegistry::new_enabled());
+        let pool = ThreadPool::new_observed(
+            1,
+            rgz_trace::TraceSink::shared_disabled(),
+            Arc::clone(&registry),
+        );
+        let (block_tx, block_rx) = std::sync::mpsc::channel::<()>();
+        let (started_tx, started_rx) = std::sync::mpsc::channel::<()>();
+        let blocker = pool.submit(move || {
+            started_tx.send(()).unwrap();
+            block_rx.recv().unwrap();
+        });
+        started_rx.recv().unwrap();
+        // One task running, queue another two behind it on the single worker.
+        let queued: Vec<_> = (0..2).map(|i| pool.submit(move || i)).collect();
+        let stats = pool.statistics();
+        assert_eq!(stats.tasks_inflight, 1);
+        assert_eq!(stats.queue_depth, 2);
+        assert_eq!(stats.tasks_submitted, 3);
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.gauge("rgz_pool_tasks_inflight", &[]), Some(1));
+        assert_eq!(snapshot.gauge("rgz_pool_queue_depth", &[]), Some(2));
+        assert_eq!(snapshot.counter("rgz_pool_tasks_total", &[]), Some(3));
+        block_tx.send(()).unwrap();
+        blocker.wait();
+        for handle in queued {
+            handle.wait();
+        }
+        let stats = pool.statistics();
+        assert_eq!(stats.queue_depth, 0);
+        assert_eq!(stats.tasks_inflight, 0);
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.gauge("rgz_pool_queue_depth", &[]), Some(0));
+        assert_eq!(snapshot.gauge("rgz_pool_tasks_inflight", &[]), Some(0));
+        assert_eq!(
+            snapshot
+                .histogram("rgz_pool_task_wait_seconds", &[])
+                .unwrap()
+                .count,
+            3
+        );
     }
 
     #[test]

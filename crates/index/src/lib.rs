@@ -205,6 +205,12 @@ impl WindowMap {
         self.store.set_trace(trace);
     }
 
+    /// Attaches a metrics registry; the store mirrors its size and cache
+    /// counters into gauges/counters and times compress/inflate work.
+    pub fn set_metrics(&self, registry: &rgz_metrics::MetricsRegistry) {
+        self.store.set_metrics(registry);
+    }
+
     /// Number of stored windows.
     pub fn len(&self) -> usize {
         self.store.len()

@@ -19,6 +19,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use parking_lot::Mutex;
+use rgz_metrics::{exponential_buckets, Counter, Histogram, MetricsRegistry};
 
 /// Positional, thread-safe read access to a compressed input.
 pub trait FileReader: Send + Sync {
@@ -161,6 +162,70 @@ impl<R: Read + Seek + Send> FileReader for SequentialFileReader<R> {
     }
 }
 
+// --- instrumentation ---------------------------------------------------------
+
+/// Wraps any [`FileReader`] and counts every positional read (call count,
+/// bytes returned, latency) into a live metrics registry.
+///
+/// The wrapper sits at the bottom of the pipeline, so `rgz_read_bytes_total`
+/// is the ground truth for compressed bytes pulled in — including bytes read
+/// twice by wasted speculation, which no higher layer can see.
+pub struct InstrumentedFileReader {
+    inner: Arc<dyn FileReader>,
+    metrics: Arc<MetricsRegistry>,
+    reads_total: Counter,
+    read_bytes_total: Counter,
+    read_seconds: Histogram,
+}
+
+impl InstrumentedFileReader {
+    /// Wraps `inner`, registering the I/O metric families on `metrics`.
+    pub fn new(inner: Arc<dyn FileReader>, metrics: Arc<MetricsRegistry>) -> Self {
+        let reads_total = metrics.counter(
+            "rgz_read_calls_total",
+            "Positional read calls issued to the compressed input.",
+        );
+        let read_bytes_total = metrics.counter(
+            "rgz_read_bytes_total",
+            "Compressed bytes returned by positional reads (includes speculative re-reads).",
+        );
+        let read_seconds = metrics.histogram(
+            "rgz_read_seconds",
+            "Latency of one positional read call.",
+            &exponential_buckets(0.000_01, 4.0, 10),
+        );
+        Self {
+            inner,
+            metrics,
+            reads_total,
+            read_bytes_total,
+            read_seconds,
+        }
+    }
+}
+
+impl FileReader for InstrumentedFileReader {
+    fn read_at(&self, offset: u64, buffer: &mut [u8]) -> io::Result<usize> {
+        if !self.metrics.is_enabled() {
+            return self.inner.read_at(offset, buffer);
+        }
+        let timer = self.read_seconds.start_timer();
+        let result = self.inner.read_at(offset, buffer);
+        match &result {
+            Ok(read) => {
+                self.reads_total.inc();
+                self.read_bytes_total.add(*read as u64);
+            }
+            Err(_) => timer.discard(),
+        }
+        result
+    }
+
+    fn size(&self) -> u64 {
+        self.inner.size()
+    }
+}
+
 // --- shared handle -----------------------------------------------------------
 
 /// A cheaply clonable, thread-safe handle to any [`FileReader`].
@@ -198,6 +263,17 @@ impl SharedFileReader {
     /// Reads exactly the requested range (shorter only at end of file).
     pub fn read_range(&self, offset: u64, length: usize) -> io::Result<Vec<u8>> {
         read_range(self.inner.as_ref(), offset, length)
+    }
+
+    /// Returns a handle that reports every read to `metrics`
+    /// (see [`InstrumentedFileReader`]).
+    pub fn instrumented(&self, metrics: Arc<MetricsRegistry>) -> SharedFileReader {
+        SharedFileReader {
+            inner: Arc::new(InstrumentedFileReader::new(
+                Arc::clone(&self.inner),
+                metrics,
+            )),
+        }
     }
 }
 
@@ -267,6 +343,29 @@ mod tests {
         assert_eq!(&buffer[..], &data[4000..4128]);
         assert_eq!(reader.read_at(0, &mut buffer).unwrap(), 128);
         assert_eq!(&buffer[..], &data[..128]);
+    }
+
+    #[test]
+    fn instrumented_reader_counts_calls_and_bytes() {
+        let data = sample_data(4096);
+        let registry = Arc::new(rgz_metrics::MetricsRegistry::new_enabled());
+        let reader = SharedFileReader::from_bytes(data.clone()).instrumented(Arc::clone(&registry));
+        assert_eq!(reader.read_range(0, 1000).unwrap(), &data[..1000]);
+        assert_eq!(reader.read_range(4000, 200).unwrap(), &data[4000..]);
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counter("rgz_read_calls_total", &[]), Some(2));
+        assert_eq!(snapshot.counter("rgz_read_bytes_total", &[]), Some(1096));
+        assert_eq!(
+            snapshot.histogram("rgz_read_seconds", &[]).unwrap().count,
+            2
+        );
+        // A disabled registry must not count (and not pay for timers).
+        registry.set_enabled(false);
+        reader.read_range(0, 100).unwrap();
+        assert_eq!(
+            registry.snapshot().counter("rgz_read_calls_total", &[]),
+            Some(2)
+        );
     }
 
     #[test]

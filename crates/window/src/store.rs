@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use rgz_fetcher::{Cache, CacheStatistics, TaskHandle, ThreadPool};
+use rgz_metrics::{exponential_buckets, Counter, Gauge, Histogram, MetricsRegistry};
 use rgz_trace::{Outcome, Stage, TraceSink};
 
 use crate::compressed::{CompressedWindow, WindowError};
@@ -49,15 +50,93 @@ enum Slot {
     Ready(Arc<CompressedWindow>),
 }
 
+/// Live-metric handles of a window store.  The counters mirror the hot
+/// cache's [`CacheStatistics`] exactly (published as deltas under the store
+/// lock), so a registry snapshot can never disagree with `statistics()`.
+struct StoreMetrics {
+    stored_bytes: Gauge,
+    windows: Gauge,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    cache_evictions: Counter,
+    compress_seconds: Histogram,
+    inflate_seconds: Histogram,
+}
+
+impl StoreMetrics {
+    fn disconnected() -> Self {
+        Self {
+            stored_bytes: Gauge::disconnected(),
+            windows: Gauge::disconnected(),
+            cache_hits: Counter::disconnected(),
+            cache_misses: Counter::disconnected(),
+            cache_evictions: Counter::disconnected(),
+            compress_seconds: Histogram::disconnected(),
+            inflate_seconds: Histogram::disconnected(),
+        }
+    }
+
+    fn register(registry: &MetricsRegistry) -> Self {
+        let cache_event = |event| {
+            registry.counter_with_labels(
+                "rgz_window_cache_total",
+                "Hot (decompressed) window cache events.",
+                &[("event", event)],
+            )
+        };
+        Self {
+            stored_bytes: registry.gauge(
+                "rgz_window_store_bytes",
+                "Compressed payload bytes currently held by the window store.",
+            ),
+            windows: registry.gauge(
+                "rgz_window_store_windows",
+                "Seek-point windows currently held by the window store.",
+            ),
+            cache_hits: cache_event("hit"),
+            cache_misses: cache_event("miss"),
+            cache_evictions: cache_event("evicted"),
+            compress_seconds: registry.histogram(
+                "rgz_window_compress_seconds",
+                "Time to sparsify and deflate one seek-point window.",
+                &exponential_buckets(0.000_02, 4.0, 10),
+            ),
+            inflate_seconds: registry.histogram(
+                "rgz_window_inflate_seconds",
+                "Time to re-inflate one stored window for random access.",
+                &exponential_buckets(0.000_02, 4.0, 10),
+            ),
+        }
+    }
+}
+
 struct Inner {
     pool: Option<Arc<ThreadPool>>,
     trace: Arc<TraceSink>,
     slots: HashMap<u64, Slot>,
     hot: Cache<u64, Vec<u8>>,
     corrupt_windows: u64,
+    metrics: StoreMetrics,
+    /// Cache counters already published to the registry (delta tracking).
+    published_cache: CacheStatistics,
 }
 
 impl Inner {
+    /// Pushes hot-cache counter movement since the last publish into the
+    /// registry counters, keeping both views identical.
+    fn publish_cache_deltas(&mut self) {
+        let now = self.hot.statistics();
+        self.metrics
+            .cache_hits
+            .add(now.hits.saturating_sub(self.published_cache.hits));
+        self.metrics
+            .cache_misses
+            .add(now.misses.saturating_sub(self.published_cache.misses));
+        self.metrics
+            .cache_evictions
+            .add(now.evictions.saturating_sub(self.published_cache.evictions));
+        self.published_cache = now;
+    }
     /// Waits for an in-flight compression and caches the finished record.
     fn resolve(&mut self, offset: u64) -> Option<Arc<CompressedWindow>> {
         let slot = self.slots.get_mut(&offset)?;
@@ -120,6 +199,8 @@ impl WindowStore {
                 slots: HashMap::new(),
                 hot: Cache::new(capacity.max(1)),
                 corrupt_windows: 0,
+                metrics: StoreMetrics::disconnected(),
+                published_cache: CacheStatistics::default(),
             }),
         }
     }
@@ -132,6 +213,12 @@ impl WindowStore {
     /// Attaches a trace sink; window compress/inflate work records spans.
     pub fn set_trace(&self, trace: Arc<TraceSink>) {
         self.inner.lock().trace = trace;
+    }
+
+    /// Attaches a live metrics registry; store size, hot-cache events and
+    /// compress/inflate latencies are reported from then on.
+    pub fn set_metrics(&self, registry: &MetricsRegistry) {
+        self.inner.lock().metrics = StoreMetrics::register(registry);
     }
 
     /// Number of stored windows.
@@ -156,13 +243,26 @@ impl WindowStore {
 
     fn insert_job(&self, offset: u64, job: impl FnOnce() -> CompressedWindow + Send + 'static) {
         let mut inner = self.inner.lock();
-        // Invalidate any stale decompressed copy of a window being replaced.
+        // Invalidate any stale decompressed copy of a window being replaced,
+        // and retire the replaced record's gauge contribution (waiting out an
+        // in-flight compression of the same offset — replacement of a pending
+        // slot is pathological and correctness beats speed there).
         inner.hot.remove(&offset);
+        if inner.slots.contains_key(&offset) {
+            if let Some(old) = inner.resolve(offset) {
+                inner.metrics.stored_bytes.add(-(old.stored_bytes() as i64));
+            }
+        }
         let trace = Arc::clone(&inner.trace);
+        let stored_bytes = inner.metrics.stored_bytes.clone();
+        let compress_seconds = inner.metrics.compress_seconds.clone();
         let traced_job = move || {
+            let timer = compress_seconds.start_timer();
             let mut span = trace.span(Stage::WindowCompress).chunk(offset);
             let record = job();
             span.set_bytes(u64::from(record.window_length));
+            drop(timer);
+            stored_bytes.add(record.stored_bytes() as i64);
             record
         };
         let slot = match &inner.pool {
@@ -170,6 +270,8 @@ impl WindowStore {
             None => Slot::Ready(Arc::new(traced_job())),
         };
         inner.slots.insert(offset, slot);
+        let windows = inner.slots.len();
+        inner.metrics.windows.set(windows as i64);
     }
 
     /// Stores the last 32 KiB of `window` without sparsification.
@@ -189,7 +291,15 @@ impl WindowStore {
     pub fn insert_compressed(&self, offset: u64, record: CompressedWindow) {
         let mut inner = self.inner.lock();
         inner.hot.remove(&offset);
+        if inner.slots.contains_key(&offset) {
+            if let Some(old) = inner.resolve(offset) {
+                inner.metrics.stored_bytes.add(-(old.stored_bytes() as i64));
+            }
+        }
+        inner.metrics.stored_bytes.add(record.stored_bytes() as i64);
         inner.slots.insert(offset, Slot::Ready(Arc::new(record)));
+        let windows = inner.slots.len();
+        inner.metrics.windows.set(windows as i64);
     }
 
     /// Returns the decompressed (masked) window for `offset`, inflating and
@@ -197,22 +307,28 @@ impl WindowStore {
     pub fn get(&self, offset: u64) -> Result<Option<Arc<Vec<u8>>>, WindowError> {
         let mut inner = self.inner.lock();
         if let Some(hot) = inner.hot.get(&offset) {
+            inner.publish_cache_deltas();
             return Ok(Some(hot));
         }
+        inner.publish_cache_deltas();
         let Some(record) = inner.resolve(offset) else {
             return Ok(None);
         };
         let trace = Arc::clone(&inner.trace);
+        let timer = inner.metrics.inflate_seconds.start_timer();
         let mut span = trace.span(Stage::WindowInflate).chunk(offset);
         match record.decompress() {
             Ok(window) => {
                 span.set_bytes(window.len() as u64);
+                drop(timer);
                 let window = Arc::new(window);
                 inner.hot.insert(offset, window.clone());
+                inner.publish_cache_deltas();
                 Ok(Some(window))
             }
             Err(error) => {
                 span.set_outcome(Outcome::Error);
+                timer.discard();
                 inner.corrupt_windows += 1;
                 Err(error)
             }
@@ -230,6 +346,7 @@ impl WindowStore {
     /// reported once they complete.
     pub fn statistics(&self) -> WindowStoreStatistics {
         let mut inner = self.inner.lock();
+        inner.publish_cache_deltas();
         let mut statistics = WindowStoreStatistics {
             windows: inner.slots.len(),
             hot_windows: inner.hot.len(),
@@ -334,6 +451,54 @@ mod tests {
         store.insert_compressed(7, record);
         assert!(store.get(7).is_err());
         assert_eq!(store.statistics().corrupt_windows, 1);
+    }
+
+    #[test]
+    fn metrics_mirror_store_and_cache_state() {
+        let registry = rgz_metrics::MetricsRegistry::new_enabled();
+        let store = WindowStore::with_hot_capacity(2);
+        store.set_metrics(&registry);
+        for offset in 0..3u64 {
+            store.insert(offset, repetitive_window(offset as u8));
+        }
+        store.get(0).unwrap().unwrap(); // miss + inflate
+        store.get(0).unwrap().unwrap(); // hit
+        store.get(1).unwrap().unwrap(); // miss
+        store.get(2).unwrap().unwrap(); // miss, evicts offset 0
+        let statistics = store.statistics();
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.gauge("rgz_window_store_windows", &[]), Some(3));
+        assert_eq!(
+            snapshot.gauge("rgz_window_store_bytes", &[]),
+            Some(statistics.stored_bytes as i64)
+        );
+        assert_eq!(
+            snapshot.counter("rgz_window_cache_total", &[("event", "hit")]),
+            Some(statistics.hot_cache.hits)
+        );
+        assert_eq!(
+            snapshot.counter("rgz_window_cache_total", &[("event", "miss")]),
+            Some(statistics.hot_cache.misses)
+        );
+        assert_eq!(
+            snapshot.counter("rgz_window_cache_total", &[("event", "evicted")]),
+            Some(statistics.hot_cache.evictions)
+        );
+        assert_eq!(
+            snapshot
+                .histogram("rgz_window_compress_seconds", &[])
+                .unwrap()
+                .count,
+            3
+        );
+        assert_eq!(
+            snapshot
+                .histogram("rgz_window_inflate_seconds", &[])
+                .unwrap()
+                .count,
+            3,
+            "hits do not re-inflate"
+        );
     }
 
     #[test]

@@ -14,4 +14,5 @@ pub use rgz_huffman as huffman;
 pub use rgz_index as index;
 pub use rgz_interop as interop;
 pub use rgz_io as io;
+pub use rgz_metrics as metrics;
 pub use rgz_window as window;
